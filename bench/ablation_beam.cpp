@@ -1,0 +1,77 @@
+// Ablation: the offline-optimal planner's beam width (our substitution for
+// the paper's CPLEX solve of QOE_MAX, see DESIGN.md). Sweeps the beam and
+// reports plan quality and runtime; on small instances it also compares
+// against exhaustive ground truth. Expected shape: quality saturates by a
+// beam of ~512-1024 while runtime grows linearly — justifying the default.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace abr;
+
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  if (options.traces > 40) options.traces = 40;  // planner-heavy bench
+  bench::Experiment experiment;
+
+  const auto traces = trace::make_dataset(
+      trace::DatasetKind::kHsdpa, options.traces, options.duration_s,
+      options.seed);
+
+  std::printf("=== Ablation: planner beam width (%zu HSDPA traces) ===\n\n",
+              options.traces);
+
+  // Ground truth on small instances: 6-chunk video, exhaustive search.
+  {
+    const auto small =
+        media::VideoManifest::cbr(6, 4.0, {350.0, 1000.0, 3000.0}, "small");
+    core::PlannerConfig config;
+    config.continuous_relaxation = false;
+    const core::OfflineOptimalPlanner planner(small, experiment.qoe,
+                                              experiment.session, config);
+    std::size_t matches = 0;
+    for (const auto& trace : traces) {
+      const double beam = planner.plan(trace).qoe;
+      const double exact = planner.plan_exhaustive(trace).qoe;
+      if (std::abs(beam - exact) < 1e-6) ++matches;
+    }
+    std::printf("exhaustive check (6-chunk video): beam == exact on %zu/%zu "
+                "traces\n\n",
+                matches, traces.size());
+  }
+
+  struct Row {
+    std::size_t beam;
+    double mean_qoe;
+    double ms_per_trace;
+  };
+  std::vector<Row> rows;
+  for (const std::size_t beam : {64ul, 256ul, 1024ul, 4096ul}) {
+    core::PlannerConfig config;
+    config.beam_width = beam;
+    const core::OfflineOptimalPlanner planner(experiment.manifest,
+                                              experiment.qoe,
+                                              experiment.session, config);
+    util::RunningStats qoe_stats;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto& trace : traces) {
+      qoe_stats.add(planner.plan(trace).qoe);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    rows.push_back({beam, qoe_stats.mean(),
+                    std::chrono::duration<double, std::milli>(elapsed).count() /
+                        static_cast<double>(traces.size())});
+  }
+
+  const double reference = rows.back().mean_qoe;
+  std::printf("%8s %16s %14s %14s\n", "beam", "mean QoE(OPT)", "vs widest",
+              "time/trace ms");
+  for (const Row& row : rows) {
+    std::printf("%8zu %16.1f %13.3f%% %14.1f\n", row.beam, row.mean_qoe,
+                100.0 * (row.mean_qoe - reference) /
+                    std::max(1.0, std::abs(reference)),
+                row.ms_per_trace);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: the MDP control strawman of Section 4.1. The paper rejects MDP
+// because it "has a strong assumption that throughput dynamics follow
+// Markov processes and it is unclear if this holds in practice". This bench
+// tests that argument empirically: on the Markov synthetic dataset (where
+// the assumption is exactly right) a fitted MDP policy should be
+// competitive with MPC; on HSDPA-like traces (log-AR(1) with fades — not a
+// 16-state chain) the model mismatch should cost it.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mdp_controller.hpp"
+
+using namespace abr;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  bench::Experiment experiment;
+  core::AlgorithmOptions algo_options;
+  algo_options.fastmpc_table = core::default_fastmpc_table(
+      experiment.manifest, experiment.qoe,
+      experiment.session.buffer_capacity_s);
+
+  std::printf("=== Ablation: MDP value iteration vs MPC (%zu traces) ===\n\n",
+              options.traces);
+
+  for (const trace::DatasetKind kind :
+       {trace::DatasetKind::kMarkov, trace::DatasetKind::kHsdpa}) {
+    // Train the throughput Markov model on a disjoint set of traces from
+    // the same distribution (different seed).
+    core::ThroughputMarkovModel model(16, 50.0, 10000.0);
+    const auto training =
+        trace::make_dataset(kind, 50, options.duration_s, options.seed + 1);
+    model.fit(training, experiment.manifest.chunk_duration_s());
+    core::MdpController mdp(experiment.manifest, experiment.qoe, model, {});
+
+    const auto traces = trace::make_dataset(kind, options.traces,
+                                            options.duration_s, options.seed);
+    const auto optimal = bench::compute_optimal_qoe(traces, experiment);
+
+    std::printf("--- %s dataset ---\n", trace::dataset_name(kind));
+    std::printf("%-12s %12s %12s %12s\n", "algorithm", "median nQoE",
+                "mean nQoE", "rebuffer_s");
+
+    // MDP row (shares the harmonic-mean predictor interface; it only reads
+    // the newest measurement).
+    {
+      predict::HarmonicMeanPredictor predictor(5);
+      util::Cdf n_qoe;
+      util::RunningStats rebuffer;
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        const auto result = sim::simulate(
+            traces[i], experiment.manifest, experiment.qoe, experiment.session,
+            mdp, predictor);
+        if (optimal[i] > 0.0) {
+          n_qoe.add(core::normalized_qoe(result.qoe, optimal[i]));
+        }
+        rebuffer.add(result.total_rebuffer_s);
+      }
+      std::printf("%-12s %12.4f %12.4f %12.2f\n", "MDP", n_qoe.median(),
+                  n_qoe.mean(), rebuffer.mean());
+    }
+
+    for (const core::Algorithm algorithm :
+         {core::Algorithm::kMpc, core::Algorithm::kRobustMpc,
+          core::Algorithm::kBufferBased}) {
+      const auto outcomes = bench::run_dataset(algorithm, traces, experiment,
+                                               algo_options, optimal);
+      util::Cdf n_qoe;
+      util::RunningStats rebuffer;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (optimal[i] > 0.0) n_qoe.add(outcomes[i].normalized_qoe);
+        rebuffer.add(outcomes[i].result.total_rebuffer_s);
+      }
+      std::printf("%-12s %12.4f %12.4f %12.2f\n",
+                  core::algorithm_name(algorithm), n_qoe.median(),
+                  n_qoe.mean(), rebuffer.mean());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape: on the Markov dataset (where the MDP's model is\n"
+      "exactly right) MDP beats plain MPC and rivals RobustMPC. On HSDPA it\n"
+      "stays competitive in median when trained in-distribution but shows\n"
+      "heavier tails than RobustMPC — and unlike MPC it needs offline\n"
+      "training per network class, the deployment cost behind the paper's\n"
+      "Section 4.1 choice.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared implementation of Figures 9 and 10: the per-metric breakdown
+// (average bitrate, average per-chunk bitrate change, total rebuffer time)
+// of every algorithm over one dataset.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace abr::bench {
+
+inline int run_breakdown(int argc, char** argv, trace::DatasetKind kind,
+                         const char* figure) {
+  const BenchOptions options = BenchOptions::parse(argc, argv);
+  Experiment experiment;
+  core::AlgorithmOptions algo_options;
+  algo_options.fastmpc_table = core::default_fastmpc_table(
+      experiment.manifest, experiment.qoe,
+      experiment.session.buffer_capacity_s);
+
+  std::printf("=== %s: per-metric breakdown, %s dataset (%zu traces) ===\n\n",
+              figure, trace::dataset_name(kind), options.traces);
+  const auto traces =
+      make_dataset(kind, options.traces, options.duration_s, options.seed);
+
+  struct Row {
+    util::Cdf bitrate;
+    util::Cdf change;
+    util::Cdf rebuffer;
+    double zero_rebuffer_fraction = 0.0;
+  };
+  std::vector<std::pair<std::string, Row>> rows;
+
+  for (const core::Algorithm algorithm : core::all_algorithms()) {
+    const auto outcomes =
+        run_dataset(algorithm, traces, experiment, algo_options, {});
+    Row row;
+    std::size_t zero_rebuffer = 0;
+    for (const SessionOutcome& outcome : outcomes) {
+      row.bitrate.add(outcome.result.average_bitrate_kbps);
+      row.change.add(outcome.result.average_bitrate_change_kbps);
+      row.rebuffer.add(outcome.result.total_rebuffer_s);
+      if (outcome.result.total_rebuffer_s <= 1e-9) ++zero_rebuffer;
+    }
+    row.zero_rebuffer_fraction =
+        static_cast<double>(zero_rebuffer) / static_cast<double>(traces.size());
+    rows.emplace_back(core::algorithm_name(algorithm), std::move(row));
+  }
+
+  std::printf("Average bitrate (kbps):\n");
+  print_summary_header("kbps");
+  for (const auto& [name, row] : rows) print_summary_row(name, row.bitrate);
+
+  std::printf("\nAverage bitrate change (kbps/chunk):\n");
+  print_summary_header("kbps/chunk");
+  for (const auto& [name, row] : rows) print_summary_row(name, row.change);
+
+  std::printf("\nTotal rebuffer time (s):\n");
+  print_summary_header("seconds");
+  for (const auto& [name, row] : rows) print_summary_row(name, row.rebuffer);
+
+  std::printf("\nZero-rebuffer session fraction:\n");
+  for (const auto& [name, row] : rows) {
+    std::printf("%-14s %6.1f%%\n", name.c_str(),
+                100.0 * row.zero_rebuffer_fraction);
+  }
+
+  std::printf("\nCDF curves:\n");
+  for (const auto& [name, row] : rows) {
+    print_cdf_curve(name + ":bitrate", row.bitrate, 0.0, 3000.0, 13);
+    print_cdf_curve(name + ":change", row.change, 0.0, 1500.0, 13);
+    print_cdf_curve(name + ":rebuffer", row.rebuffer, 0.0, 30.0, 13);
+  }
+  return 0;
+}
+
+}  // namespace abr::bench

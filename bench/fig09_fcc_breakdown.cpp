@@ -1,0 +1,10 @@
+// Reproduces Figure 9: detailed performance breakdown on the FCC
+// (broadband) dataset. Expected shape: all algorithms see similarly low
+// rebuffer time; RobustMPC matches BB/FastMPC on average bitrate with fewer
+// bitrate switches; dash.js switches the most.
+#include "breakdown_common.hpp"
+
+int main(int argc, char** argv) {
+  return abr::bench::run_breakdown(argc, argv, abr::trace::DatasetKind::kFcc,
+                                   "Figure 9");
+}

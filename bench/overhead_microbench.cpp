@@ -1,0 +1,144 @@
+// Reproduces the Section 7.4 overhead microbenchmarks: per-decision CPU
+// cost of each controller and the memory footprint of the FastMPC table.
+// Expected shape: FastMPC decisions cost within noise of BB/RB (a binary
+// search), online MPC costs orders of magnitude more (the full horizon
+// solve), and the 100x100x5 table is tens of kB compressed (the paper
+// reports ~60 kB extra memory).
+#include <benchmark/benchmark.h>
+
+#include "core/algorithms.hpp"
+#include "core/buffer_based.hpp"
+#include "core/dashjs_rules.hpp"
+#include "core/fastmpc_table.hpp"
+#include "core/festive.hpp"
+#include "core/mpc_controller.hpp"
+#include "core/rate_based.hpp"
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace abr;
+
+const media::VideoManifest& manifest() {
+  static const media::VideoManifest m = media::VideoManifest::envivio_default();
+  return m;
+}
+
+const qoe::QoeModel& qoe_model() {
+  static const qoe::QoeModel q(media::QualityFunction::identity(),
+                               qoe::QoeWeights::balanced());
+  return q;
+}
+
+std::shared_ptr<const core::FastMpcTable> shared_table() {
+  static const std::shared_ptr<const core::FastMpcTable> table =
+      core::default_fastmpc_table(manifest(), qoe_model(), 30.0);
+  return table;
+}
+
+/// Drives one controller through a stream of plausible random states.
+template <typename MakeController>
+void run_decision_bench(benchmark::State& state, MakeController make) {
+  auto controller = make();
+  util::Rng rng(7);
+  std::vector<double> history = {1200.0, 900.0, 1500.0, 1100.0, 1300.0};
+  std::vector<double> prediction(controller->prediction_horizon(), 1150.0);
+  std::size_t prev = 2;
+  std::size_t chunk = 1;
+  for (auto _ : state) {
+    sim::AbrState abr_state;
+    abr_state.chunk_index = chunk;
+    abr_state.buffer_s = rng.uniform(0.0, 30.0);
+    abr_state.prev_level = prev;
+    abr_state.has_prev = true;
+    abr_state.throughput_history_kbps = history;
+    abr_state.prediction_kbps = prediction;
+    abr_state.playback_started = true;
+    prev = controller->decide(abr_state, manifest());
+    benchmark::DoNotOptimize(prev);
+    chunk = chunk % 60 + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Decision_RB(benchmark::State& state) {
+  run_decision_bench(state,
+                     [] { return std::make_unique<core::RateBasedController>(); });
+}
+BENCHMARK(BM_Decision_RB);
+
+void BM_Decision_BB(benchmark::State& state) {
+  run_decision_bench(
+      state, [] { return std::make_unique<core::BufferBasedController>(); });
+}
+BENCHMARK(BM_Decision_BB);
+
+void BM_Decision_FastMPC(benchmark::State& state) {
+  run_decision_bench(state, [] {
+    return std::make_unique<core::FastMpcController>(shared_table());
+  });
+}
+BENCHMARK(BM_Decision_FastMPC);
+
+void BM_Decision_OnlineMPC(benchmark::State& state) {
+  run_decision_bench(state, [] {
+    return std::make_unique<core::MpcController>(manifest(), qoe_model(),
+                                                 core::MpcConfig{});
+  });
+}
+BENCHMARK(BM_Decision_OnlineMPC);
+
+void BM_Decision_RobustMPC(benchmark::State& state) {
+  run_decision_bench(state, [] {
+    core::MpcConfig config;
+    config.robust = true;
+    return std::make_unique<core::MpcController>(manifest(), qoe_model(),
+                                                 config);
+  });
+}
+BENCHMARK(BM_Decision_RobustMPC);
+
+void BM_Decision_Festive(benchmark::State& state) {
+  run_decision_bench(
+      state, [] { return std::make_unique<core::FestiveController>(); });
+}
+BENCHMARK(BM_Decision_Festive);
+
+void BM_Decision_DashJs(benchmark::State& state) {
+  run_decision_bench(
+      state, [] { return std::make_unique<core::DashJsRulesController>(); });
+}
+BENCHMARK(BM_Decision_DashJs);
+
+/// Table construction cost (the offline step) and memory footprint counters.
+void BM_FastMpcTableBuild_30x30(benchmark::State& state) {
+  for (auto _ : state) {
+    core::FastMpcConfig config;
+    config.buffer_bins = 30;
+    config.throughput_bins = 30;
+    auto table = core::FastMpcTable::build(manifest(), qoe_model(), config);
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_FastMpcTableBuild_30x30)->Unit(benchmark::kMillisecond);
+
+void BM_FastMpcTableLookup(benchmark::State& state) {
+  const auto table = shared_table();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->lookup(
+        rng.uniform(0.0, 30.0), static_cast<std::size_t>(rng.uniform_int(0, 4)),
+        rng.uniform(60.0, 8000.0)));
+  }
+  state.counters["table_rle_bytes"] =
+      static_cast<double>(table->rle_binary_bytes());
+  state.counters["table_full_bytes"] =
+      static_cast<double>(table->full_table_bytes());
+}
+BENCHMARK(BM_FastMpcTableLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

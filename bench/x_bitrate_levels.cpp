@@ -1,0 +1,69 @@
+// Reproduces the Section 7.3 "bitrate levels" sensitivity experiment
+// (described in the text but not plotted): n-QoE vs the number of ladder
+// levels. Expected shape: BB and MPC improve monotonically with
+// finer-grained ladders; RB improves at first and then degrades as many
+// near-by levels make it switch constantly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace abr;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+
+  const auto traces = trace::make_dataset(
+      trace::DatasetKind::kMarkov, options.traces, options.duration_s,
+      options.seed);
+
+  std::printf("=== Extra: n-QoE and switching vs ladder size (%zu traces) ===\n\n",
+              options.traces);
+  std::printf("%8s %12s %12s %12s %12s | %12s %12s\n", "levels", "RobustMPC",
+              "FastMPC", "BB", "RB", "RB switches", "RB kbps-chg");
+
+  for (const std::size_t levels : {2ul, 3ul, 5ul, 7ul, 10ul, 15ul}) {
+    bench::Experiment experiment;
+    experiment.manifest = media::VideoManifest::cbr(
+        65, 4.0, media::VideoManifest::geometric_ladder(350.0, 3000.0, levels),
+        "ladder-" + std::to_string(levels));
+    core::AlgorithmOptions algo_options;
+    algo_options.fastmpc_table = core::default_fastmpc_table(
+        experiment.manifest, experiment.qoe,
+        experiment.session.buffer_capacity_s);
+    const auto optimal = bench::compute_optimal_qoe(traces, experiment);
+
+    double n_qoe_means[4] = {0.0, 0.0, 0.0, 0.0};
+    double rb_switches = 0.0;
+    double rb_smoothness = 0.0;
+    const core::Algorithm algorithms[4] = {
+        core::Algorithm::kRobustMpc, core::Algorithm::kFastMpc,
+        core::Algorithm::kBufferBased, core::Algorithm::kRateBased};
+    for (int a = 0; a < 4; ++a) {
+      const auto outcomes = bench::run_dataset(algorithms[a], traces,
+                                               experiment, algo_options,
+                                               optimal);
+      util::RunningStats n_qoe;
+      util::RunningStats switches;
+      util::RunningStats smoothness;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (optimal[i] > 0.0) n_qoe.add(outcomes[i].normalized_qoe);
+        switches.add(static_cast<double>(outcomes[i].result.switch_count));
+        smoothness.add(outcomes[i].result.average_bitrate_change_kbps);
+      }
+      n_qoe_means[a] = n_qoe.mean();
+      if (algorithms[a] == core::Algorithm::kRateBased) {
+        rb_switches = switches.mean();
+        rb_smoothness = smoothness.mean();
+      }
+    }
+    std::printf("%8zu %12.4f %12.4f %12.4f %12.4f | %12.1f %12.1f\n", levels,
+                n_qoe_means[0], n_qoe_means[1], n_qoe_means[2],
+                n_qoe_means[3], rb_switches, rb_smoothness);
+  }
+  std::printf(
+      "\nExpected shape (Section 7.3 text): BB and exact MPC (RobustMPC) gain\n"
+      "from finer ladders; RB's switching grows until the instability cost\n"
+      "eats its gains; FastMPC at fixed 100x100 bins eventually degrades —\n"
+      "the discretization caveat the paper notes for fine ladders.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extension: variable-bitrate (VBR) video. The paper's model carries
+// per-chunk sizes d_k(R) precisely so VBR is representable (Section 3.1),
+// and its Section 6 implementation note argues manifests must expose chunk
+// sizes because MPC needs them. This bench quantifies that: as per-chunk
+// size variability grows, MPC (which plans with exact sizes) should hold
+// its QoE while RB/BB (which only see nominal bitrates) degrade.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace abr;
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+
+  const auto traces = trace::make_dataset(
+      trace::DatasetKind::kHsdpa, options.traces, options.duration_s,
+      options.seed);
+
+  std::printf("=== Extension: VBR chunk-size variability (%zu traces) ===\n\n",
+              options.traces);
+  std::printf("%10s %12s %12s %12s | %12s\n", "sigma", "RobustMPC", "BB",
+              "RB", "RobustMPC rebuf");
+
+  for (const double sigma : {0.0, 0.2, 0.4}) {
+    bench::Experiment experiment;
+    util::Rng vbr_rng(options.seed + 5);
+    experiment.manifest =
+        sigma == 0.0
+            ? media::VideoManifest::envivio_default()
+            : media::VideoManifest::vbr(
+                  65, 4.0, {350.0, 600.0, 1000.0, 2000.0, 3000.0}, sigma,
+                  vbr_rng, "envivio-vbr");
+    core::AlgorithmOptions algo_options;
+    const auto optimal = bench::compute_optimal_qoe(traces, experiment);
+
+    std::printf("%10.1f", sigma);
+    double robust_rebuffer = 0.0;
+    for (const core::Algorithm algorithm :
+         {core::Algorithm::kRobustMpc, core::Algorithm::kBufferBased,
+          core::Algorithm::kRateBased}) {
+      const auto outcomes = bench::run_dataset(algorithm, traces, experiment,
+                                               algo_options, optimal);
+      util::Cdf n_qoe;
+      util::RunningStats rebuffer;
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (optimal[i] > 0.0) n_qoe.add(outcomes[i].normalized_qoe);
+        rebuffer.add(outcomes[i].result.total_rebuffer_s);
+      }
+      if (algorithm == core::Algorithm::kRobustMpc) {
+        robust_rebuffer = rebuffer.mean();
+      }
+      std::printf(" %12.4f", n_qoe.median());
+    }
+    std::printf(" | %12.2f\n", robust_rebuffer);
+  }
+  std::printf(
+      "\nExpected shape: RobustMPC holds its n-QoE as sigma grows (it plans\n"
+      "with exact d_k(R)) while RB/BB — which only see nominal bitrates —\n"
+      "drift down. The gap is modest because the n-QoE denominator also\n"
+      "uses exact sizes.\n");
+  return 0;
+}

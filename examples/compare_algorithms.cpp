@@ -1,0 +1,73 @@
+// Compares every bitrate adaptation algorithm from the paper's evaluation
+// (RB, BB, FastMPC, RobustMPC, dash.js rules, FESTIVE) on a small dataset
+// of mobile-like traces and prints a Fig. 8-style summary, including each
+// algorithm's normalized QoE against the offline optimum.
+//
+// Usage: ./examples/compare_algorithms [trace-count]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/algorithms.hpp"
+#include "core/offline_optimal.hpp"
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/player.hpp"
+#include "trace/generators.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abr;
+
+  const std::size_t trace_count =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 20;
+
+  const media::VideoManifest manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel qoe(media::QualityFunction::identity(),
+                          qoe::QoeWeights::balanced());
+  const sim::SessionConfig session;
+
+  const auto traces = trace::make_dataset(trace::DatasetKind::kHsdpa,
+                                          trace_count, 320.0, 99);
+
+  // Offline optimum per trace (the n-QoE denominator).
+  const core::OfflineOptimalPlanner planner(manifest, qoe, session);
+  std::vector<double> optimal(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    optimal[i] = planner.plan(traces[i]).qoe;
+  }
+
+  // One shared FastMPC table for the whole comparison.
+  core::AlgorithmOptions options;
+  options.fastmpc_table = core::default_fastmpc_table(manifest, qoe, 30.0);
+
+  std::printf("%zu HSDPA-like traces, Envivio video, balanced QoE weights\n\n",
+              traces.size());
+  std::printf("%-12s %12s %12s %12s %12s %12s\n", "algorithm", "median nQoE",
+              "mean QoE", "bitrate", "rebuffer_s", "switches");
+
+  for (const core::Algorithm algorithm : core::all_algorithms()) {
+    auto instance = core::make_algorithm(algorithm, manifest, qoe, options);
+    util::Cdf n_qoe;
+    util::RunningStats raw_qoe;
+    util::RunningStats bitrate;
+    util::RunningStats rebuffer;
+    util::RunningStats switches;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const sim::SessionResult result =
+          sim::simulate(traces[i], manifest, qoe, session,
+                        *instance.controller, *instance.predictor);
+      if (optimal[i] > 0.0) {
+        n_qoe.add(core::normalized_qoe(result.qoe, optimal[i]));
+      }
+      raw_qoe.add(result.qoe);
+      bitrate.add(result.average_bitrate_kbps);
+      rebuffer.add(result.total_rebuffer_s);
+      switches.add(static_cast<double>(result.switch_count));
+    }
+    std::printf("%-12s %12.3f %12.0f %12.0f %12.2f %12.1f\n",
+                core::algorithm_name(algorithm), n_qoe.median(),
+                raw_qoe.mean(), bitrate.mean(), rebuffer.mean(),
+                switches.mean());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// FastMPC table tooling: builds the offline decision table for a video +
+// QoE objective (the Fig. 5 enumeration), reports its Table 1-style size
+// accounting, round-trips it through disk, and answers a few example
+// queries — everything a deployment pipeline would do before shipping the
+// table to players.
+//
+// Usage: ./examples/fastmpc_table_tool [levels] [output.bin]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/fastmpc_table.hpp"
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abr;
+
+  const std::size_t levels =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
+  const std::string path = argc > 2 ? argv[2] : "/tmp/fastmpc_table.bin";
+
+  const media::VideoManifest manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel qoe(media::QualityFunction::identity(),
+                          qoe::QoeWeights::balanced());
+
+  core::FastMpcConfig config;
+  config.buffer_bins = levels;
+  config.throughput_bins = levels;
+  std::printf("building %zux%zux%zu table (horizon %zu)...\n",
+              config.buffer_bins, manifest.level_count(),
+              config.throughput_bins, config.horizon);
+  const core::FastMpcTable table =
+      core::FastMpcTable::build(manifest, qoe, config);
+
+  std::printf("\nsize accounting (Table 1 of the paper):\n");
+  std::printf("  scenarios:           %zu\n", table.cell_count());
+  std::printf("  RLE runs:            %zu\n", table.run_count());
+  std::printf("  full table (JS):     %.1f kB\n", table.js_full_bytes() / 1e3);
+  std::printf("  RLE coded (JS):      %.1f kB\n", table.js_rle_bytes() / 1e3);
+  std::printf("  full table (binary): %.1f kB\n",
+              table.full_table_bytes() / 1e3);
+  std::printf("  RLE coded (binary):  %.1f kB\n",
+              table.rle_binary_bytes() / 1e3);
+
+  table.save(path);
+  const core::FastMpcTable loaded = core::FastMpcTable::load(path);
+  std::printf("\nsaved + reloaded %s: %s\n", path.c_str(),
+              loaded == table ? "identical" : "MISMATCH");
+
+  std::printf("\nexample queries (buffer, prev bitrate, predicted tput):\n");
+  const struct {
+    double buffer_s;
+    std::size_t prev;
+    double tput;
+  } queries[] = {
+      {2.0, 0, 400.0},  {10.0, 1, 800.0},  {15.0, 2, 1500.0},
+      {25.0, 3, 2500.0}, {29.0, 4, 5000.0},
+  };
+  for (const auto& q : queries) {
+    const std::size_t decision = loaded.lookup(q.buffer_s, q.prev, q.tput);
+    std::printf("  B=%5.1fs prev=%4.0f kbps C=%6.0f kbps  ->  %4.0f kbps\n",
+                q.buffer_s, manifest.bitrate_kbps(q.prev), q.tput,
+                manifest.bitrate_kbps(decision));
+  }
+  return 0;
+}

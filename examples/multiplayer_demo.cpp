@@ -1,0 +1,64 @@
+// Multi-player demo: four viewers share one bottleneck link, each running a
+// different adaptation algorithm. Shows the Section 8 future-work setting —
+// how efficiency, stability, and fairness interact when players compete.
+//
+// Usage: ./examples/multiplayer_demo [link-kbps]   (default 8000)
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/buffer_based.hpp"
+#include "core/festive.hpp"
+#include "core/mpc_controller.hpp"
+#include "core/rate_based.hpp"
+#include "media/manifest.hpp"
+#include "predict/predictor.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/multiplayer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abr;
+
+  const double link_kbps = argc > 1 ? std::atof(argv[1]) : 8000.0;
+
+  const media::VideoManifest manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel qoe(media::QualityFunction::identity(),
+                          qoe::QoeWeights::balanced());
+  const auto link =
+      trace::ThroughputTrace::constant(link_kbps, 2000.0, "bottleneck");
+
+  // One player per algorithm, joining 3 s apart.
+  core::RateBasedController rb;
+  core::FestiveController festive;
+  core::BufferBasedController bb;
+  core::MpcConfig mpc_config;
+  mpc_config.robust = true;
+  core::MpcController robust_mpc(manifest, qoe, mpc_config);
+
+  predict::HarmonicMeanPredictor p0(5);
+  predict::HarmonicMeanPredictor p1(5);
+  predict::HarmonicMeanPredictor p2(5);
+  predict::HarmonicMeanPredictor p3(5);
+
+  sim::BitrateController* controllers[] = {&rb, &festive, &bb, &robust_mpc};
+  predict::ThroughputPredictor* predictors[] = {&p0, &p1, &p2, &p3};
+
+  sim::MultiPlayerConfig config;
+  config.startup_stagger_s = 3.0;
+
+  std::printf("4 players sharing a %.0f kbps bottleneck\n\n", link_kbps);
+  const sim::MultiPlayerResult result = sim::simulate_shared_link(
+      link, manifest, qoe, config, controllers, predictors);
+
+  std::printf("%-12s %10s %10s %10s %10s\n", "player", "bitrate", "rebuf_s",
+              "switches", "QoE");
+  const char* names[] = {"RB", "FESTIVE", "BB", "RobustMPC"};
+  for (std::size_t i = 0; i < result.players.size(); ++i) {
+    const sim::SessionResult& p = result.players[i];
+    std::printf("%-12s %10.0f %10.2f %10zu %10.0f\n", names[i],
+                p.average_bitrate_kbps, p.total_rebuffer_s, p.switch_count,
+                p.qoe);
+  }
+  std::printf("\nJain fairness (bitrate): %.4f   link utilization: %.3f\n",
+              result.jain_fairness, result.link_utilization);
+  return 0;
+}

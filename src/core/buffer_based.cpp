@@ -1,0 +1,30 @@
+#include "core/buffer_based.hpp"
+
+#include <cassert>
+
+namespace abr::core {
+
+BufferBasedController::BufferBasedController(double reservoir_s,
+                                             double cushion_s)
+    : reservoir_s_(reservoir_s), cushion_s_(cushion_s) {
+  assert(reservoir_s >= 0.0);
+  assert(cushion_s > 0.0);
+}
+
+double BufferBasedController::rate_map_kbps(
+    double buffer_s, const media::VideoManifest& manifest) const {
+  const double r_min = manifest.bitrates_kbps().front();
+  const double r_max = manifest.bitrates_kbps().back();
+  if (buffer_s <= reservoir_s_) return r_min;
+  if (buffer_s >= reservoir_s_ + cushion_s_) return r_max;
+  const double fraction = (buffer_s - reservoir_s_) / cushion_s_;
+  return r_min + fraction * (r_max - r_min);
+}
+
+std::size_t BufferBasedController::decide(const sim::AbrState& state,
+                                          const media::VideoManifest& manifest) {
+  return manifest.highest_level_not_above(
+      rate_map_kbps(state.buffer_s, manifest));
+}
+
+}  // namespace abr::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sim/controller.hpp"
+
+namespace abr::core {
+
+/// Buffer-based (BB) adaptation after Huang et al. [33], as configured in
+/// Section 7.1.2 item 2 of the paper: the bitrate is the maximum available
+/// level below a rate map f(B) that is R_min for B <= reservoir, R_max for
+/// B >= reservoir + cushion, and linear in between. Throughput information
+/// is deliberately unused (Eq. (14)).
+class BufferBasedController final : public sim::BitrateController {
+ public:
+  /// Paper defaults: reservoir r = 5 s, cushion c = 10 s.
+  BufferBasedController(double reservoir_s = 5.0, double cushion_s = 10.0);
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  std::string name() const override { return "BB"; }
+
+  /// The rate map f(B), exposed for tests.
+  double rate_map_kbps(double buffer_s,
+                       const media::VideoManifest& manifest) const;
+
+ private:
+  double reservoir_s_;
+  double cushion_s_;
+};
+
+}  // namespace abr::core

@@ -1,0 +1,70 @@
+#include "core/dashjs_rules.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace abr::core {
+
+DashJsRulesController::DashJsRulesController()
+    : DashJsRulesController(Params{}) {}
+
+DashJsRulesController::DashJsRulesController(Params params) : params_(params) {
+  assert(params.low_buffer_s >= 0.0);
+  assert(params.up_margin > 0.0);
+}
+
+void DashJsRulesController::reset() {
+  holdoff_remaining_ = 0;
+  last_buffer_s_ = 0.0;
+  saw_state_ = false;
+}
+
+std::size_t DashJsRulesController::decide(const sim::AbrState& state,
+                                          const media::VideoManifest& manifest) {
+  // Detect a stall: after playback starts, the buffer hitting (near) zero
+  // between decisions means the player rebuffered.
+  if (saw_state_ && state.playback_started && state.buffer_s <= 1e-9) {
+    holdoff_remaining_ = params_.stall_holdoff_chunks;
+  } else if (holdoff_remaining_ > 0) {
+    --holdoff_remaining_;
+  }
+  saw_state_ = true;
+  last_buffer_s_ = state.buffer_s;
+
+  if (!state.has_prev || state.throughput_history_kbps.empty()) {
+    return 0;  // first chunk: lowest quality, as dash.js does
+  }
+
+  const std::size_t current = state.prev_level;
+  const double current_bitrate = manifest.bitrate_kbps(current);
+
+  // --- DownloadRatioRule ---------------------------------------------------
+  // ratio = play time / download time of the last chunk == measured
+  // throughput / last chunk's bitrate (for CBR chunks).
+  const double measured = state.throughput_history_kbps.back();
+  const double ratio = measured / current_bitrate;
+
+  // The v1.2 rule tracks the last chunk's sustainable rate directly and can
+  // jump several levels at once in either direction — the unsmoothed
+  // reaction behind its oscillation.
+  std::size_t ratio_level = current;
+  if (ratio < 1.0) {
+    ratio_level = manifest.highest_level_not_above(current_bitrate * ratio);
+  } else {
+    ratio_level = manifest.highest_level_not_above(current_bitrate * ratio /
+                                                   params_.up_margin);
+  }
+
+  // --- InsufficientBufferRule ----------------------------------------------
+  std::size_t buffer_level = manifest.level_count() - 1;  // "no opinion"
+  if (state.playback_started && state.buffer_s < params_.low_buffer_s) {
+    buffer_level = 0;
+  } else if (holdoff_remaining_ > 0) {
+    buffer_level = current;  // forbid up-switches right after a stall
+  }
+
+  // Priority merge: the most conservative rule wins.
+  return std::min(ratio_level, buffer_level);
+}
+
+}  // namespace abr::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "sim/controller.hpp"
+
+namespace abr::core {
+
+/// The original dash.js (v1.2.0) rule-based decision logic, as described in
+/// Section 6 of the paper and used as its industry-reference baseline
+/// (Section 7.1.2 item 5): two independent rules whose outputs are merged by
+/// priority (the more conservative wins).
+///
+///  - DownloadRatioRule: from the last chunk's "download ratio" (play time /
+///    download time), estimate the sustainable bitrate as
+///    current_bitrate * ratio. If the ratio is below 1 the current level is
+///    unsustainable: drop to the highest level within the sustainable rate.
+///    If the ratio exceeds the step-up cost to the next level, move up one
+///    level. This per-chunk, unsmoothed reaction is what produces the many
+///    unnecessary switches the paper observes (Section 7.2).
+///
+///  - InsufficientBufferRule: if the buffer is below a low-water mark the
+///    rule forces the lowest level; after a recent stall it forbids
+///    up-switching for a hold-off period. This is why dash.js achieves low
+///    rebuffer time despite its instability.
+///
+/// Per the paper's methodology, this implementation keeps the original
+/// decision logic but makes decisions only at chunk boundaries with strictly
+/// sequential downloads.
+class DashJsRulesController final : public sim::BitrateController {
+ public:
+  struct Params {
+    /// Buffer level below which the insufficient-buffer rule forces the
+    /// lowest bitrate (dash.js used ~2 fragment durations).
+    double low_buffer_s = 8.0;
+    /// Chunks after a stall during which up-switching is forbidden.
+    std::size_t stall_holdoff_chunks = 4;
+    /// Required headroom on the download ratio before stepping up: the
+    /// ratio must exceed (next_bitrate / current_bitrate) * up_margin.
+    double up_margin = 1.0;
+  };
+
+  DashJsRulesController();
+  explicit DashJsRulesController(Params params);
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  void reset() override;
+  std::string name() const override { return "dash.js"; }
+
+ private:
+  Params params_;
+  std::size_t holdoff_remaining_ = 0;
+  double last_buffer_s_ = 0.0;
+  bool saw_state_ = false;
+};
+
+}  // namespace abr::core

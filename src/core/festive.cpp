@@ -1,0 +1,79 @@
+#include "core/festive.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace abr::core {
+
+FestiveController::FestiveController() : FestiveController(Params{}) {}
+
+FestiveController::FestiveController(Params params) : params_(params) {
+  assert(params.safety_factor > 0.0);
+  assert(params.alpha >= 0.0);
+  assert(params.switch_window > 0);
+}
+
+void FestiveController::reset() {
+  recent_switches_.clear();
+  chunks_at_current_ = 0;
+}
+
+double FestiveController::stability_score(bool prospective_switch) const {
+  std::size_t switches = prospective_switch ? 1 : 0;
+  for (const bool switched : recent_switches_) {
+    if (switched) ++switches;
+  }
+  return std::pow(2.0, static_cast<double>(switches));
+}
+
+std::size_t FestiveController::decide(const sim::AbrState& state,
+                                      const media::VideoManifest& manifest) {
+  const auto commit = [&](std::size_t level) {
+    const bool switched = state.has_prev && level != state.prev_level;
+    recent_switches_.push_back(switched);
+    while (recent_switches_.size() > params_.switch_window) {
+      recent_switches_.pop_front();
+    }
+    chunks_at_current_ = switched ? 0 : chunks_at_current_ + 1;
+    return level;
+  };
+
+  if (!state.has_prev || state.prediction_kbps.empty() ||
+      state.prediction_kbps.front() <= 0.0) {
+    return commit(0);
+  }
+
+  const double target_kbps =
+      params_.safety_factor * state.prediction_kbps.front();
+  const std::size_t reference_level =
+      manifest.highest_level_not_above(target_kbps);
+  const std::size_t current = state.prev_level;
+
+  // Gradual switching: one ladder step at a time; stepping up to level b
+  // requires having dwelt at the current level for >= b chunks.
+  std::size_t candidate = current;
+  if (reference_level > current) {
+    const std::size_t next = current + 1;
+    if (chunks_at_current_ >= next) candidate = next;
+  } else if (reference_level < current) {
+    candidate = current - 1;
+  }
+  if (candidate == current) return commit(current);
+
+  // Combined score: stay vs move.
+  const double reference_kbps = manifest.bitrate_kbps(reference_level);
+  const auto efficiency = [&](std::size_t level) {
+    const double denom = std::min(target_kbps, reference_kbps);
+    return std::abs(manifest.bitrate_kbps(level) / denom - 1.0);
+  };
+  const double stay_score =
+      stability_score(false) + params_.alpha * efficiency(current);
+  const double move_score =
+      stability_score(true) + params_.alpha * efficiency(candidate);
+  // Ties favour the candidate: the reference level is where the bandwidth
+  // target says we should be. The epsilon absorbs rounding noise — with a
+  // near-geometric ladder the two scores can land within an ulp.
+  return commit(move_score <= stay_score + 1e-9 ? candidate : current);
+}
+
+}  // namespace abr::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <deque>
+
+#include "sim/controller.hpp"
+
+namespace abr::core {
+
+/// FESTIVE (Jiang, Sekar, Zhang [34]) as configured in Section 7.1.2 item 6
+/// of the paper: a rate-based algorithm that trades efficiency against
+/// stability.
+///
+/// Per decision it computes a reference level (highest bitrate <= p * the
+/// harmonic-mean throughput prediction), applies gradual switching (move at
+/// most one ladder step; switching *up* to level b is only allowed after
+/// dwelling at the current level for a number of chunks proportional to b,
+/// FESTIVE Section 4.3), and then picks between staying and the candidate by
+/// minimizing
+///
+///   score_stability(b) + alpha * score_efficiency(b)
+///
+/// with score_stability = 2^(switches in the last `switch_window` chunks,
+/// counting the prospective one) and score_efficiency = |b / min(p * W,
+/// b_ref) - 1|. The paper uses alpha = 12 and notes FESTIVE's randomized
+/// chunk scheduling is disabled (single-player setting, no wait between
+/// downloads), which does not hurt single-player QoE.
+class FestiveController final : public sim::BitrateController {
+ public:
+  struct Params {
+    double safety_factor = 1.0;  ///< p
+    double alpha = 12.0;
+    std::size_t switch_window = 5;
+  };
+
+  FestiveController();
+  explicit FestiveController(Params params);
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  void reset() override;
+  std::string name() const override { return "FESTIVE"; }
+
+ private:
+  double stability_score(bool prospective_switch) const;
+
+  Params params_;
+  std::deque<bool> recent_switches_;  ///< newest last
+  std::size_t chunks_at_current_ = 0;
+};
+
+}  // namespace abr::core

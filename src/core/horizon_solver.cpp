@@ -1,0 +1,131 @@
+#include "core/horizon_solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace abr::core {
+
+namespace {
+
+/// Non-dominated (buffer, value) pairs seen at one (depth, level) node.
+struct DominanceSet {
+  std::vector<std::pair<double, double>> entries;  // (buffer_s, value)
+
+  /// Returns false if (buffer, value) is dominated by an existing entry;
+  /// otherwise inserts it (dropping entries it dominates) and returns true.
+  bool insert(double buffer, double value) {
+    for (const auto& [b, v] : entries) {
+      if (b >= buffer && v >= value) return false;
+    }
+    std::erase_if(entries, [&](const auto& e) {
+      return buffer >= e.first && value >= e.second;
+    });
+    entries.emplace_back(buffer, value);
+    return true;
+  }
+};
+
+}  // namespace
+
+HorizonSolver::HorizonSolver(const media::VideoManifest& manifest,
+                             const qoe::QoeModel& qoe)
+    : manifest_(&manifest), qoe_(&qoe) {}
+
+HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
+  const media::VideoManifest& manifest = *manifest_;
+  const qoe::QoeModel& qoe = *qoe_;
+  const qoe::QoeWeights& w = qoe.weights();
+  const std::size_t level_count = manifest.level_count();
+  const double chunk_duration = manifest.chunk_duration_s();
+
+  if (problem.first_chunk >= manifest.chunk_count()) {
+    throw std::invalid_argument("HorizonProblem: first_chunk out of range");
+  }
+  const std::size_t horizon =
+      std::min(problem.predicted_kbps.size(),
+               manifest.chunk_count() - problem.first_chunk);
+  if (horizon == 0) {
+    throw std::invalid_argument("HorizonProblem: empty horizon");
+  }
+  for (std::size_t i = 0; i < horizon; ++i) {
+    if (!(problem.predicted_kbps[i] > 0.0)) {
+      throw std::invalid_argument("HorizonProblem: non-positive forecast");
+    }
+  }
+
+  // Precompute per-level qualities (q is non-decreasing; top level is max).
+  std::vector<double> level_quality(level_count);
+  for (std::size_t level = 0; level < level_count; ++level) {
+    level_quality[level] = qoe.quality(manifest.bitrate_kbps(level));
+  }
+  const double max_quality = level_quality.back();
+
+  nodes_expanded_ = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> best_levels;
+  std::vector<std::size_t> current_levels(horizon);
+  std::vector<std::vector<DominanceSet>> frontier(
+      horizon, std::vector<DominanceSet>(level_count));
+
+  // Depth-first search; levels tried from highest quality down so the first
+  // incumbent is strong and the admissible bound prunes aggressively.
+  auto search = [&](auto&& self, std::size_t depth, double buffer,
+                    std::size_t prev_level, bool has_prev,
+                    double value) -> void {
+    if (depth == horizon) {
+      if (value > best_value) {
+        best_value = value;
+        best_levels = current_levels;
+      }
+      return;
+    }
+    const std::size_t chunk = problem.first_chunk + depth;
+    const double forecast = problem.predicted_kbps[depth];
+    const double optimistic_rest =
+        static_cast<double>(horizon - depth - 1) * max_quality;
+
+    for (std::size_t i = 0; i < level_count; ++i) {
+      const std::size_t level = level_count - 1 - i;
+      ++nodes_expanded_;
+
+      const double download_s =
+          manifest.chunk_kilobits(chunk, level) / forecast;
+      const double rebuffer = std::max(0.0, download_s - buffer);
+      const double next_buffer = std::min(
+          std::max(buffer - download_s, 0.0) + chunk_duration,
+          problem.buffer_capacity_s);
+
+      double step_value = level_quality[level] - w.mu * rebuffer -
+                          (rebuffer > 0.0 ? w.mu_event : 0.0);
+      if (has_prev) {
+        step_value -=
+            w.lambda * std::abs(level_quality[level] - level_quality[prev_level]);
+      }
+      const double next_value = value + step_value;
+
+      // Admissible bound: even with maximal quality and no penalties for the
+      // remaining chunks this branch cannot beat the incumbent.
+      if (next_value + optimistic_rest <= best_value) continue;
+
+      // Dominance: a previously expanded branch reached this (depth, level)
+      // with at least as much buffer and value.
+      if (!frontier[depth][level].insert(next_buffer, next_value)) continue;
+
+      current_levels[depth] = level;
+      self(self, depth + 1, next_buffer, level, true, next_value);
+    }
+  };
+
+  search(search, 0, problem.buffer_s, problem.prev_level, problem.has_prev,
+         0.0);
+
+  assert(!best_levels.empty());
+  HorizonSolution solution;
+  solution.levels = std::move(best_levels);
+  solution.objective = best_value;
+  return solution;
+}
+
+}  // namespace abr::core

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+
+namespace abr::core {
+
+/// One instance of the moving-horizon problem QOE_MAX_STEADY (Fig. 3 of the
+/// paper restricted to chunks [k, k+N-1]): given the buffer level, the
+/// previously selected level, and a per-chunk throughput forecast, choose the
+/// bitrate sequence maximizing the Eq. (5) objective over the horizon.
+struct HorizonProblem {
+  /// Buffer occupancy B_k at the decision point, seconds.
+  double buffer_s = 0.0;
+
+  /// Ladder index of the previous chunk. When !has_prev the smoothness term
+  /// for the first horizon chunk is dropped (session start).
+  std::size_t prev_level = 0;
+  bool has_prev = false;
+
+  /// Forecast throughput for each horizon chunk, kbps; its length defines
+  /// the horizon N. All entries must be > 0.
+  std::span<const double> predicted_kbps;
+
+  /// Index of the first horizon chunk in the manifest (for VBR sizes).
+  /// Chunks past the end of the video are skipped (shorter tail horizon).
+  std::size_t first_chunk = 0;
+
+  /// Playout buffer capacity Bmax, seconds.
+  double buffer_capacity_s = 30.0;
+};
+
+/// Optimal levels for the horizon (levels[0] is the decision to apply) and
+/// the objective value achieved.
+struct HorizonSolution {
+  std::vector<std::size_t> levels;
+  double objective = 0.0;
+};
+
+/// Exact solver for HorizonProblem.
+///
+/// Depth-first enumeration over the |R|^N sequence space with two exact
+/// prunings that leave the result optimal:
+///  - admissible bound: current value + (remaining chunks) * max quality
+///    cannot beat the incumbent;
+///  - dominance: at a given (depth, level) a partial solution with both a
+///    lower buffer and a lower accumulated objective than a previously seen
+///    one can be discarded.
+/// For the paper's configuration (5 levels, N = 5) the raw space is 3125
+/// sequences; with pruning the solver comfortably handles the Fig. 12b
+/// sweeps (N up to 9) and ladders of 10+ levels.
+class HorizonSolver {
+ public:
+  /// The model and manifest must outlive the solver.
+  HorizonSolver(const media::VideoManifest& manifest, const qoe::QoeModel& qoe);
+
+  HorizonSolution solve(const HorizonProblem& problem) const;
+
+  /// Number of search nodes expanded by the last solve (observability for
+  /// the overhead microbenches).
+  std::size_t last_nodes_expanded() const { return nodes_expanded_; }
+
+ private:
+  struct Frontier;  // per-(depth, level) dominance sets
+
+  const media::VideoManifest* manifest_;
+  const qoe::QoeModel* qoe_;
+  mutable std::size_t nodes_expanded_ = 0;
+};
+
+}  // namespace abr::core

@@ -1,0 +1,187 @@
+#include "core/mdp_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace abr::core {
+
+ThroughputMarkovModel::ThroughputMarkovModel(std::size_t states,
+                                             double lo_kbps, double hi_kbps)
+    : binner_(lo_kbps, hi_kbps, states),
+      counts_(states * states, 0.5) {  // Laplace smoothing prior
+  assert(states > 0);
+}
+
+void ThroughputMarkovModel::fit(std::span<const trace::ThroughputTrace> traces,
+                                double interval_s) {
+  assert(interval_s > 0.0);
+  for (const trace::ThroughputTrace& trace : traces) {
+    const std::vector<double> samples = trace.sample(interval_s);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      observe(samples[i - 1], samples[i]);
+    }
+  }
+}
+
+void ThroughputMarkovModel::observe(double from_kbps, double to_kbps) {
+  if (from_kbps <= 0.0 || to_kbps <= 0.0) return;
+  const std::size_t i = binner_.bin(from_kbps);
+  const std::size_t j = binner_.bin(to_kbps);
+  counts_[i * binner_.bins() + j] += 1.0;
+}
+
+double ThroughputMarkovModel::transition(std::size_t i, std::size_t j) const {
+  assert(i < binner_.bins() && j < binner_.bins());
+  double row_total = 0.0;
+  for (std::size_t k = 0; k < binner_.bins(); ++k) {
+    row_total += counts_[i * binner_.bins() + k];
+  }
+  return counts_[i * binner_.bins() + j] / row_total;
+}
+
+MdpController::MdpController(const media::VideoManifest& manifest,
+                             const qoe::QoeModel& qoe,
+                             ThroughputMarkovModel model, MdpConfig config)
+    : manifest_(&manifest),
+      qoe_(&qoe),
+      model_(std::move(model)),
+      config_(config),
+      buffer_binner_(0.0, config.buffer_capacity_s, config.buffer_bins) {
+  if (model_.state_count() == 0) {
+    throw std::invalid_argument("MdpController: empty throughput model");
+  }
+  if (config_.discount <= 0.0 || config_.discount >= 1.0) {
+    throw std::invalid_argument("MdpController: discount must be in (0, 1)");
+  }
+  level_quality_.reserve(manifest.level_count());
+  for (std::size_t level = 0; level < manifest.level_count(); ++level) {
+    level_quality_.push_back(qoe.quality(manifest.bitrate_kbps(level)));
+  }
+  solve();
+}
+
+std::size_t MdpController::flat_state(std::size_t buffer_bin,
+                                      std::size_t tput_state,
+                                      std::size_t prev_level) const {
+  return (buffer_bin * model_.state_count() + tput_state) *
+             manifest_->level_count() +
+         prev_level;
+}
+
+void MdpController::solve() {
+  const std::size_t levels = manifest_->level_count();
+  const std::size_t tput_states = model_.state_count();
+  const std::size_t buffer_bins = config_.buffer_bins;
+  const std::size_t n_states = buffer_bins * tput_states * levels;
+  const double chunk_duration = manifest_->chunk_duration_s();
+  const qoe::QoeWeights& w = qoe_->weights();
+
+  // Chunk sizes are taken as nominal CBR (the MDP plans chunk-agnostically,
+  // like the FastMPC table).
+  std::vector<double> chunk_kb(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    chunk_kb[level] = chunk_duration * manifest_->bitrate_kbps(level);
+  }
+
+  // Precompute, per (buffer bin, tput state, action): immediate reward
+  // (minus the smoothness term, added per prev level) and next buffer bin.
+  struct Transition {
+    double reward_base;
+    std::uint32_t next_buffer_bin;
+  };
+  std::vector<Transition> transitions(buffer_bins * tput_states * levels);
+  for (std::size_t b = 0; b < buffer_bins; ++b) {
+    const double buffer = buffer_binner_.center(b);
+    for (std::size_t s = 0; s < tput_states; ++s) {
+      const double rate = model_.state_rate_kbps(s);
+      for (std::size_t a = 0; a < levels; ++a) {
+        const double download_s = chunk_kb[a] / rate;
+        const double rebuffer = std::max(0.0, download_s - buffer);
+        const double next_buffer =
+            std::min(std::max(buffer - download_s, 0.0) + chunk_duration,
+                     config_.buffer_capacity_s);
+        Transition& t = transitions[(b * tput_states + s) * levels + a];
+        t.reward_base = level_quality_[a] - w.mu * rebuffer;
+        t.next_buffer_bin =
+            static_cast<std::uint32_t>(buffer_binner_.bin(next_buffer));
+      }
+    }
+  }
+
+  // Cache the transition matrix rows (transition() recomputes row sums).
+  std::vector<double> p(tput_states * tput_states);
+  for (std::size_t i = 0; i < tput_states; ++i) {
+    for (std::size_t j = 0; j < tput_states; ++j) {
+      p[i * tput_states + j] = model_.transition(i, j);
+    }
+  }
+
+  std::vector<double> value(n_states, 0.0);
+  std::vector<double> next_value(n_states, 0.0);
+  policy_.assign(n_states, 0);
+
+  iterations_used_ = 0;
+  for (std::size_t iteration = 0; iteration < config_.max_iterations;
+       ++iteration) {
+    ++iterations_used_;
+    double max_delta = 0.0;
+    for (std::size_t b = 0; b < buffer_bins; ++b) {
+      for (std::size_t s = 0; s < tput_states; ++s) {
+        // E[V(b', s', a)] over s' is shared across prev levels; compute per
+        // action first.
+        for (std::size_t prev = 0; prev < levels; ++prev) {
+          double best = -std::numeric_limits<double>::infinity();
+          std::uint8_t best_action = 0;
+          for (std::size_t a = 0; a < levels; ++a) {
+            const Transition& t = transitions[(b * tput_states + s) * levels + a];
+            double expected_next = 0.0;
+            for (std::size_t s2 = 0; s2 < tput_states; ++s2) {
+              expected_next +=
+                  p[s * tput_states + s2] *
+                  value[flat_state(t.next_buffer_bin, s2, a)];
+            }
+            const double q_value =
+                t.reward_base -
+                w.lambda * std::abs(level_quality_[a] - level_quality_[prev]) +
+                config_.discount * expected_next;
+            if (q_value > best) {
+              best = q_value;
+              best_action = static_cast<std::uint8_t>(a);
+            }
+          }
+          const std::size_t state = flat_state(b, s, prev);
+          max_delta = std::max(max_delta, std::abs(best - value[state]));
+          next_value[state] = best;
+          policy_[state] = best_action;
+        }
+      }
+    }
+    value.swap(next_value);
+    if (max_delta < config_.tolerance) break;
+  }
+}
+
+std::size_t MdpController::policy(double buffer_s, double throughput_kbps,
+                                  std::size_t prev_level) const {
+  assert(prev_level < manifest_->level_count());
+  const std::size_t b = buffer_binner_.bin(buffer_s);
+  const std::size_t s = model_.state_of(throughput_kbps);
+  return policy_[flat_state(b, s, prev_level)];
+}
+
+std::size_t MdpController::decide(const sim::AbrState& state,
+                                  const media::VideoManifest& manifest) {
+  if (manifest.level_count() != manifest_->level_count()) {
+    throw std::logic_error("MdpController: manifest mismatch");
+  }
+  if (state.throughput_history_kbps.empty()) {
+    return 0;  // no observation yet: start lowest
+  }
+  const std::size_t prev = state.has_prev ? state.prev_level : 0;
+  return policy(state.buffer_s, state.throughput_history_kbps.back(), prev);
+}
+
+}  // namespace abr::core

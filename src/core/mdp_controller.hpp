@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/controller.hpp"
+#include "trace/throughput_trace.hpp"
+#include "util/binning.hpp"
+
+namespace abr::core {
+
+/// A first-order Markov model of chunk-timescale throughput: log-spaced
+/// states with an empirically fitted transition matrix.
+///
+/// This is the model behind the MDP control strawman of Section 4.1 of the
+/// paper ("with MDP we could consider formulating the throughput and buffer
+/// state transition as Markov processes") whose key weakness the paper
+/// calls out: it assumes throughput really is Markovian. The library
+/// includes it both as a baseline and to reproduce that argument
+/// empirically (see bench/ablation_mdp.cpp: on the Markov synthetic dataset
+/// the assumption holds and MDP is competitive; on HSDPA-like traces the
+/// model mismatch costs it).
+class ThroughputMarkovModel {
+ public:
+  /// `states` log-spaced throughput states over [lo_kbps, hi_kbps].
+  ThroughputMarkovModel(std::size_t states, double lo_kbps, double hi_kbps);
+
+  /// Fits the transition matrix from interval averages of the given traces
+  /// (add-half Laplace smoothing keeps all transitions reachable).
+  void fit(std::span<const trace::ThroughputTrace> traces, double interval_s);
+
+  /// Online update: records an observed s -> s' transition.
+  void observe(double from_kbps, double to_kbps);
+
+  std::size_t state_count() const { return binner_.bins(); }
+  std::size_t state_of(double kbps) const { return binner_.bin(kbps); }
+  double state_rate_kbps(std::size_t state) const {
+    return binner_.center(state);
+  }
+
+  /// P(next = j | current = i), row-normalized with smoothing.
+  double transition(std::size_t i, std::size_t j) const;
+
+ private:
+  util::LogBinner binner_;
+  std::vector<double> counts_;  ///< row-major transition counts
+};
+
+/// Configuration of the MDP controller.
+struct MdpConfig {
+  std::size_t throughput_states = 16;
+  double throughput_lo_kbps = 50.0;
+  double throughput_hi_kbps = 10000.0;
+  std::size_t buffer_bins = 48;
+  double buffer_capacity_s = 30.0;
+  /// Discount factor of the infinite-horizon objective.
+  double discount = 0.95;
+  /// Value-iteration convergence threshold (max |V' - V|).
+  double tolerance = 1.0;
+  std::size_t max_iterations = 500;
+};
+
+/// Bitrate adaptation by solving an infinite-horizon discounted MDP over
+/// (buffer bin x throughput state x previous level) with the Eq. (5)
+/// per-chunk reward, via value iteration (the Section 4.1 strawman,
+/// referencing Bertsekas [21]).
+///
+/// The policy is computed once at construction (given a fitted throughput
+/// model) and decisions are O(1) lookups, so like FastMPC it has no online
+/// solver — but unlike MPC it commits to the fitted Markov dynamics instead
+/// of a per-session throughput forecast.
+class MdpController final : public sim::BitrateController {
+ public:
+  /// The manifest and QoE model must outlive the controller. `model` is
+  /// copied; fit it before constructing.
+  MdpController(const media::VideoManifest& manifest, const qoe::QoeModel& qoe,
+                ThroughputMarkovModel model, MdpConfig config);
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  std::string name() const override { return "MDP"; }
+
+  /// Number of value-iteration sweeps the solve took (observability).
+  std::size_t iterations_used() const { return iterations_used_; }
+
+  /// The greedy action for an explicit state (exposed for tests).
+  std::size_t policy(double buffer_s, double throughput_kbps,
+                     std::size_t prev_level) const;
+
+ private:
+  void solve();
+  std::size_t flat_state(std::size_t buffer_bin, std::size_t tput_state,
+                         std::size_t prev_level) const;
+
+  const media::VideoManifest* manifest_;
+  const qoe::QoeModel* qoe_;
+  ThroughputMarkovModel model_;
+  MdpConfig config_;
+  util::LinearBinner buffer_binner_;
+  std::vector<double> level_quality_;
+  std::vector<std::uint8_t> policy_;  ///< argmax action per flat state
+  std::size_t iterations_used_ = 0;
+};
+
+}  // namespace abr::core

@@ -1,0 +1,75 @@
+#include "core/mpc_controller.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace abr::core {
+
+MpcController::MpcController(const media::VideoManifest& manifest,
+                             const qoe::QoeModel& qoe, MpcConfig config)
+    : solver_(manifest, qoe),
+      config_(config),
+      error_tracker_(config.error_window) {
+  assert(config.horizon >= 1);
+}
+
+void MpcController::reset() {
+  error_tracker_.reset();
+  pending_prediction_.reset();
+  history_seen_ = 0;
+  last_effective_kbps_ = 0.0;
+}
+
+std::string MpcController::name() const {
+  return config_.robust ? "RobustMPC" : "MPC";
+}
+
+std::size_t MpcController::decide(const sim::AbrState& state,
+                                  const media::VideoManifest& manifest) {
+  // Close the loop on the previous forecast: the newest history entry is the
+  // measured throughput of the chunk we predicted last time.
+  if (pending_prediction_.has_value() &&
+      state.throughput_history_kbps.size() > history_seen_) {
+    error_tracker_.record(*pending_prediction_,
+                          state.throughput_history_kbps.back());
+    history_seen_ = state.throughput_history_kbps.size();
+  }
+
+  // No forecast yet (first chunk): start at the lowest level, as real
+  // players do.
+  if (state.prediction_kbps.empty() || state.prediction_kbps.front() <= 0.0) {
+    pending_prediction_.reset();
+    last_effective_kbps_ = 0.0;
+    return 0;
+  }
+
+  const std::size_t horizon =
+      std::min(config_.horizon, state.prediction_kbps.size());
+  std::vector<double> forecast(state.prediction_kbps.begin(),
+                               state.prediction_kbps.begin() +
+                                   static_cast<std::ptrdiff_t>(horizon));
+  if (config_.robust) {
+    for (double& c : forecast) c = error_tracker_.lower_bound(c);
+  }
+  last_effective_kbps_ = forecast.front();
+
+  HorizonProblem problem;
+  problem.buffer_s = state.buffer_s;
+  problem.prev_level = state.prev_level;
+  problem.has_prev = state.has_prev;
+  problem.predicted_kbps = forecast;
+  problem.first_chunk = state.chunk_index;
+  problem.buffer_capacity_s = config_.buffer_capacity_s;
+
+  const HorizonSolution solution = solver_.solve(problem);
+  (void)manifest;
+
+  // Remember the *raw* forecast for the chunk we are about to download so
+  // the error tracker compares like with like (Section 7.1.2 defines err on
+  // the predictor's output, not the deflated bound).
+  pending_prediction_ = state.prediction_kbps.front();
+  return solution.levels.front();
+}
+
+}  // namespace abr::core

@@ -1,0 +1,21 @@
+#include "core/rate_based.hpp"
+
+#include <cassert>
+
+namespace abr::core {
+
+RateBasedController::RateBasedController(double safety_factor)
+    : safety_factor_(safety_factor) {
+  assert(safety_factor > 0.0);
+}
+
+std::size_t RateBasedController::decide(const sim::AbrState& state,
+                                        const media::VideoManifest& manifest) {
+  if (state.prediction_kbps.empty() || state.prediction_kbps.front() <= 0.0) {
+    return 0;  // no estimate yet: start conservative
+  }
+  return manifest.highest_level_not_above(safety_factor_ *
+                                          state.prediction_kbps.front());
+}
+
+}  // namespace abr::core

@@ -1,0 +1,24 @@
+#pragma once
+
+#include "sim/controller.hpp"
+
+namespace abr::core {
+
+/// Rate-based (RB) adaptation, Section 7.1.2 item 1 of the paper: pick the
+/// maximum available bitrate not exceeding `safety_factor` (the paper's p,
+/// default 1) times the predicted throughput. Uses only the throughput
+/// signal (Eq. (13)); buffer occupancy is ignored by design — that is the
+/// class's defining limitation the paper analyzes.
+class RateBasedController final : public sim::BitrateController {
+ public:
+  explicit RateBasedController(double safety_factor = 1.0);
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  std::string name() const override { return "RB"; }
+
+ private:
+  double safety_factor_;
+};
+
+}  // namespace abr::core

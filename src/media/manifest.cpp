@@ -1,0 +1,132 @@
+#include "media/manifest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace abr::media {
+
+VideoManifest::VideoManifest(double chunk_duration_s,
+                             std::vector<double> bitrates_kbps,
+                             std::vector<std::vector<double>> chunk_sizes_kb,
+                             std::string name)
+    : chunk_duration_s_(chunk_duration_s),
+      bitrates_kbps_(std::move(bitrates_kbps)),
+      chunk_sizes_kb_(std::move(chunk_sizes_kb)),
+      name_(std::move(name)) {
+  if (!(chunk_duration_s_ > 0.0)) {
+    throw std::invalid_argument("VideoManifest: non-positive chunk duration");
+  }
+  if (bitrates_kbps_.empty()) {
+    throw std::invalid_argument("VideoManifest: empty bitrate ladder");
+  }
+  if (!std::is_sorted(bitrates_kbps_.begin(), bitrates_kbps_.end())) {
+    throw std::invalid_argument("VideoManifest: ladder must be ascending");
+  }
+  for (std::size_t i = 1; i < bitrates_kbps_.size(); ++i) {
+    if (bitrates_kbps_[i] == bitrates_kbps_[i - 1]) {
+      throw std::invalid_argument("VideoManifest: duplicate ladder bitrate");
+    }
+  }
+  if (bitrates_kbps_.front() <= 0.0) {
+    throw std::invalid_argument("VideoManifest: non-positive bitrate");
+  }
+  if (chunk_sizes_kb_.empty()) {
+    throw std::invalid_argument("VideoManifest: no chunks");
+  }
+  for (const auto& row : chunk_sizes_kb_) {
+    if (row.size() != bitrates_kbps_.size()) {
+      throw std::invalid_argument("VideoManifest: chunk size row mismatch");
+    }
+    for (const double kb : row) {
+      if (!(kb > 0.0)) {
+        throw std::invalid_argument("VideoManifest: non-positive chunk size");
+      }
+    }
+  }
+}
+
+VideoManifest VideoManifest::cbr(std::size_t chunk_count,
+                                 double chunk_duration_s,
+                                 std::vector<double> bitrates_kbps,
+                                 std::string name) {
+  std::vector<double> row(bitrates_kbps.size());
+  for (std::size_t level = 0; level < bitrates_kbps.size(); ++level) {
+    row[level] = chunk_duration_s * bitrates_kbps[level];
+  }
+  std::vector<std::vector<double>> sizes(chunk_count, row);
+  return VideoManifest(chunk_duration_s, std::move(bitrates_kbps),
+                       std::move(sizes), std::move(name));
+}
+
+VideoManifest VideoManifest::vbr(std::size_t chunk_count,
+                                 double chunk_duration_s,
+                                 std::vector<double> bitrates_kbps,
+                                 double sigma, util::Rng& rng,
+                                 std::string name) {
+  assert(sigma >= 0.0);
+  // Lognormal with unit mean: exp(N(-sigma^2/2, sigma)).
+  const double mu = -sigma * sigma / 2.0;
+  std::vector<std::vector<double>> sizes;
+  sizes.reserve(chunk_count);
+  for (std::size_t k = 0; k < chunk_count; ++k) {
+    const double complexity = std::exp(rng.gaussian(mu, sigma));
+    std::vector<double> row(bitrates_kbps.size());
+    for (std::size_t level = 0; level < bitrates_kbps.size(); ++level) {
+      row[level] = chunk_duration_s * bitrates_kbps[level] * complexity;
+    }
+    sizes.push_back(std::move(row));
+  }
+  return VideoManifest(chunk_duration_s, std::move(bitrates_kbps),
+                       std::move(sizes), std::move(name));
+}
+
+VideoManifest VideoManifest::from_sizes(
+    double chunk_duration_s, std::vector<double> bitrates_kbps,
+    std::vector<std::vector<double>> chunk_sizes_kb, std::string name) {
+  return VideoManifest(chunk_duration_s, std::move(bitrates_kbps),
+                       std::move(chunk_sizes_kb), std::move(name));
+}
+
+VideoManifest VideoManifest::envivio_default() {
+  return cbr(65, 4.0, {350.0, 600.0, 1000.0, 2000.0, 3000.0}, "envivio");
+}
+
+std::vector<double> VideoManifest::geometric_ladder(double lo_kbps,
+                                                    double hi_kbps,
+                                                    std::size_t levels) {
+  assert(lo_kbps > 0.0 && hi_kbps > lo_kbps && levels >= 2);
+  std::vector<double> ladder(levels);
+  const double ratio = std::pow(hi_kbps / lo_kbps,
+                                1.0 / static_cast<double>(levels - 1));
+  double rate = lo_kbps;
+  for (std::size_t i = 0; i < levels; ++i) {
+    ladder[i] = rate;
+    rate *= ratio;
+  }
+  ladder.back() = hi_kbps;  // exact endpoint despite rounding
+  return ladder;
+}
+
+double VideoManifest::bitrate_kbps(std::size_t level) const {
+  assert(level < bitrates_kbps_.size());
+  return bitrates_kbps_[level];
+}
+
+double VideoManifest::chunk_kilobits(std::size_t chunk,
+                                     std::size_t level) const {
+  assert(chunk < chunk_sizes_kb_.size());
+  assert(level < bitrates_kbps_.size());
+  return chunk_sizes_kb_[chunk][level];
+}
+
+std::size_t VideoManifest::highest_level_not_above(double rate_kbps) const {
+  std::size_t best = 0;
+  for (std::size_t level = 0; level < bitrates_kbps_.size(); ++level) {
+    if (bitrates_kbps_[level] <= rate_kbps) best = level;
+  }
+  return best;
+}
+
+}  // namespace abr::media

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abr::media {
+
+/// Description of one DASH video: K aligned chunks of L seconds, each
+/// available at every bitrate of the ladder, with per-chunk encoded sizes
+/// d_k(R) (Section 3.1 of the paper).
+///
+/// Sizes are stored explicitly per (chunk, level) so both CBR
+/// (d_k = L * R_k) and VBR (sizes vary per chunk) videos are representable;
+/// the paper notes the DASH standard's failure to mandate chunk sizes in the
+/// manifest as a shortcoming, so this library treats sizes as first-class.
+class VideoManifest {
+ public:
+  VideoManifest() = default;
+
+  /// Constant-bitrate video: chunk size is exactly L * R.
+  static VideoManifest cbr(std::size_t chunk_count, double chunk_duration_s,
+                           std::vector<double> bitrates_kbps,
+                           std::string name = {});
+
+  /// Variable-bitrate video: per-chunk sizes are L * R scaled by a shared
+  /// per-chunk complexity factor (lognormal with the given sigma, mean 1),
+  /// modeling scene-complexity variation that is correlated across the
+  /// ladder. sigma of 0.2-0.4 matches typical H.264 VBR encodes.
+  static VideoManifest vbr(std::size_t chunk_count, double chunk_duration_s,
+                           std::vector<double> bitrates_kbps, double sigma,
+                           util::Rng& rng, std::string name = {});
+
+  /// Builds a manifest from an explicit [chunk][level] size table (kilobits).
+  /// Validates dimensions, ladder ordering, and positivity.
+  static VideoManifest from_sizes(double chunk_duration_s,
+                                  std::vector<double> bitrates_kbps,
+                                  std::vector<std::vector<double>> chunk_sizes_kb,
+                                  std::string name = {});
+
+  /// The paper's test video (Section 7.1.1): "Envivio" from the DASH-264
+  /// reference client — 260 s, 65 chunks of 4 s,
+  /// R = {350, 600, 1000, 2000, 3000} kbps, CBR.
+  static VideoManifest envivio_default();
+
+  /// Geometric ladder of `levels` bitrates from lo to hi inclusive; used by
+  /// the bitrate-level-count sensitivity experiment (Section 7.3).
+  static std::vector<double> geometric_ladder(double lo_kbps, double hi_kbps,
+                                              std::size_t levels);
+
+  const std::string& name() const { return name_; }
+  std::size_t chunk_count() const { return chunk_sizes_kb_.size(); }
+  std::size_t level_count() const { return bitrates_kbps_.size(); }
+  double chunk_duration_s() const { return chunk_duration_s_; }
+  double duration_s() const {
+    return chunk_duration_s_ * static_cast<double>(chunk_count());
+  }
+
+  /// Bitrate ladder, ascending, kbps.
+  const std::vector<double>& bitrates_kbps() const { return bitrates_kbps_; }
+  double bitrate_kbps(std::size_t level) const;
+
+  /// Encoded size of chunk `chunk` at ladder index `level`, kilobits.
+  double chunk_kilobits(std::size_t chunk, std::size_t level) const;
+
+  /// Highest level whose *nominal bitrate* is <= `rate_kbps`; returns 0 if
+  /// even the lowest level exceeds it. This is the primitive that rate-based
+  /// and buffer-based policies share.
+  std::size_t highest_level_not_above(double rate_kbps) const;
+
+ private:
+  VideoManifest(double chunk_duration_s, std::vector<double> bitrates_kbps,
+                std::vector<std::vector<double>> chunk_sizes_kb,
+                std::string name);
+
+  double chunk_duration_s_ = 0.0;
+  std::vector<double> bitrates_kbps_;
+  std::vector<std::vector<double>> chunk_sizes_kb_;  ///< [chunk][level]
+  std::string name_;
+};
+
+}  // namespace abr::media

@@ -1,0 +1,186 @@
+#include "media/mpd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "util/xml.hpp"
+
+namespace abr::media {
+
+std::string format_iso8601_duration(double seconds) {
+  std::ostringstream out;
+  out << "PT";
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << seconds << 'S';
+  return out.str();
+}
+
+double parse_iso8601_duration(std::string_view text) {
+  if (!util::starts_with(text, "PT")) {
+    throw std::invalid_argument("duration must start with PT: " +
+                                std::string(text));
+  }
+  text.remove_prefix(2);
+  double total = 0.0;
+  bool any = false;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == 'H' || c == 'M' || c == 'S') {
+      double value = 0.0;
+      if (!util::parse_double(text.substr(start, i - start), value)) {
+        throw std::invalid_argument("bad duration number");
+      }
+      if (c == 'H') total += value * 3600.0;
+      if (c == 'M') total += value * 60.0;
+      if (c == 'S') total += value;
+      start = i + 1;
+      any = true;
+    }
+  }
+  if (!any || start != text.size()) {
+    throw std::invalid_argument("malformed ISO-8601 duration");
+  }
+  return total;
+}
+
+std::string to_mpd(const VideoManifest& manifest) {
+  std::ostringstream out;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  out << "<MPD xmlns=\"urn:mpeg:dash:schema:mpd:2011\" type=\"static\""
+      << " mediaPresentationDuration=\""
+      << format_iso8601_duration(manifest.duration_s()) << "\""
+      << " minBufferTime=\""
+      << format_iso8601_duration(manifest.chunk_duration_s()) << "\">\n";
+  out << "  <Period>\n";
+  out << "    <AdaptationSet mimeType=\"video/mp4\" contentType=\"video\""
+      << " segmentAlignment=\"true\">\n";
+  out << "      <SegmentTemplate"
+      << " media=\"video/$RepresentationID$/seg-$Number$.m4s\""
+      << " timescale=\"1000\""
+      << " duration=\""
+      << static_cast<long long>(std::llround(manifest.chunk_duration_s() * 1000.0))
+      << "\" startNumber=\"0\"/>\n";
+  for (std::size_t level = 0; level < manifest.level_count(); ++level) {
+    const auto bandwidth_bps =
+        static_cast<long long>(std::llround(manifest.bitrate_kbps(level) * 1000.0));
+    out << "      <Representation id=\"" << level << "\" bandwidth=\""
+        << bandwidth_bps << "\" codecs=\"avc1.4d401f\">\n";
+    out << "        <SegmentSizes unit=\"kilobits\">";
+    out.setf(std::ios::fixed);
+    out.precision(3);
+    for (std::size_t k = 0; k < manifest.chunk_count(); ++k) {
+      if (k > 0) out << ' ';
+      out << manifest.chunk_kilobits(k, level);
+    }
+    out.unsetf(std::ios::fixed);
+    out << "</SegmentSizes>\n";
+    out << "      </Representation>\n";
+  }
+  out << "    </AdaptationSet>\n";
+  out << "  </Period>\n";
+  out << "</MPD>\n";
+  return out.str();
+}
+
+VideoManifest from_mpd(std::string_view mpd_xml) {
+  const auto root = util::xml_parse(mpd_xml);
+  if (root->name != "MPD") {
+    throw std::invalid_argument("MPD: root element is not <MPD>");
+  }
+  const util::XmlElement* period = root->child("Period");
+  if (period == nullptr) throw std::invalid_argument("MPD: missing <Period>");
+  const util::XmlElement* adaptation = period->child("AdaptationSet");
+  if (adaptation == nullptr) {
+    throw std::invalid_argument("MPD: missing <AdaptationSet>");
+  }
+  const util::XmlElement* segment_template = adaptation->child("SegmentTemplate");
+  if (segment_template == nullptr) {
+    throw std::invalid_argument("MPD: missing <SegmentTemplate>");
+  }
+
+  const std::string* duration_attr = segment_template->attribute("duration");
+  const std::string* timescale_attr = segment_template->attribute("timescale");
+  if (duration_attr == nullptr) {
+    throw std::invalid_argument("MPD: SegmentTemplate missing duration");
+  }
+  double duration_ticks = 0.0;
+  if (!util::parse_double(*duration_attr, duration_ticks)) {
+    throw std::invalid_argument("MPD: bad SegmentTemplate duration");
+  }
+  double timescale = 1.0;
+  if (timescale_attr != nullptr &&
+      !util::parse_double(*timescale_attr, timescale)) {
+    throw std::invalid_argument("MPD: bad SegmentTemplate timescale");
+  }
+  const double chunk_duration_s = duration_ticks / timescale;
+
+  std::vector<double> bitrates_kbps;
+  std::vector<std::vector<double>> sizes_by_level;
+  for (const util::XmlElement* rep : adaptation->children_named("Representation")) {
+    const std::string* bandwidth = rep->attribute("bandwidth");
+    if (bandwidth == nullptr) {
+      throw std::invalid_argument("MPD: Representation missing bandwidth");
+    }
+    double bandwidth_bps = 0.0;
+    if (!util::parse_double(*bandwidth, bandwidth_bps)) {
+      throw std::invalid_argument("MPD: bad bandwidth");
+    }
+    bitrates_kbps.push_back(bandwidth_bps / 1000.0);
+
+    const util::XmlElement* sizes_el = rep->child("SegmentSizes");
+    if (sizes_el == nullptr) {
+      throw std::invalid_argument(
+          "MPD: Representation missing <SegmentSizes> (this library requires "
+          "explicit chunk sizes; see DESIGN.md)");
+    }
+    std::vector<double> sizes;
+    for (const auto field : util::split(sizes_el->text, ' ')) {
+      const auto trimmed = util::trim(field);
+      if (trimmed.empty()) continue;
+      double kb = 0.0;
+      if (!util::parse_double(trimmed, kb)) {
+        throw std::invalid_argument("MPD: bad segment size");
+      }
+      sizes.push_back(kb);
+    }
+    sizes_by_level.push_back(std::move(sizes));
+  }
+  if (bitrates_kbps.empty()) {
+    throw std::invalid_argument("MPD: no Representations");
+  }
+  const std::size_t chunk_count = sizes_by_level.front().size();
+  for (const auto& sizes : sizes_by_level) {
+    if (sizes.size() != chunk_count) {
+      throw std::invalid_argument("MPD: inconsistent SegmentSizes lengths");
+    }
+  }
+  if (chunk_count == 0) throw std::invalid_argument("MPD: zero chunks");
+
+  // Representations may appear in any order; sort levels by bitrate.
+  std::vector<std::size_t> order(bitrates_kbps.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bitrates_kbps[a] < bitrates_kbps[b];
+  });
+
+  std::vector<double> ladder;
+  ladder.reserve(order.size());
+  for (const std::size_t i : order) ladder.push_back(bitrates_kbps[i]);
+
+  std::vector<std::vector<double>> chunk_sizes(chunk_count);
+  for (std::size_t k = 0; k < chunk_count; ++k) {
+    chunk_sizes[k].resize(order.size());
+    for (std::size_t level = 0; level < order.size(); ++level) {
+      chunk_sizes[k][level] = sizes_by_level[order[level]][k];
+    }
+  }
+  return VideoManifest::from_sizes(chunk_duration_s, std::move(ladder),
+                                   std::move(chunk_sizes), "mpd");
+}
+
+}  // namespace abr::media

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "media/manifest.hpp"
+
+namespace abr::media {
+
+/// Serializes a manifest to a simplified MPEG-DASH MPD document.
+///
+/// The output follows the static-MPD profile structure (MPD / Period /
+/// AdaptationSet / SegmentTemplate / Representation). Because the DASH
+/// standard does not mandate per-chunk sizes in the manifest — a gap the
+/// paper explicitly calls out in Section 6 as "a key shortcoming of the
+/// current specification" — each Representation carries a non-standard
+/// <SegmentSizes unit="kilobits"> extension element listing d_k(R) for every
+/// chunk, which MPC-family controllers require.
+std::string to_mpd(const VideoManifest& manifest);
+
+/// Parses an MPD produced by to_mpd (or hand-written in the same subset)
+/// back into a manifest. Throws std::invalid_argument on structural errors:
+/// missing elements, ladder/size mismatches, or unparsable durations.
+VideoManifest from_mpd(std::string_view mpd_xml);
+
+/// Parses an ISO-8601 duration of the restricted form PT[nH][nM][n(.n)S]
+/// into seconds. Throws std::invalid_argument on malformed input.
+double parse_iso8601_duration(std::string_view text);
+
+/// Formats seconds as an ISO-8601 duration PTnnn.nnnS.
+std::string format_iso8601_duration(double seconds);
+
+}  // namespace abr::media

@@ -1,0 +1,163 @@
+#include "net/chunk_server.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "media/mpd.hpp"
+#include "util/strings.hpp"
+
+namespace abr::net {
+
+TcpServer::TcpServer(SessionHandler session) : session_(std::move(session)) {
+  assert(session_);
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  assert(!running_.load());
+  listener_ = TcpListener::bind_loopback();
+  port_ = listener_.port();
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::accept_loop() {
+  while (running_.load()) {
+    TcpStream stream;
+    try {
+      stream = listener_.accept();
+    } catch (const std::system_error&) {
+      break;  // listener closed: orderly shutdown
+    }
+    auto connection = std::make_unique<Connection>();
+    connection->stream = std::move(stream);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load()) break;  // stop() raced us; drop the connection
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] { session_(raw->stream); });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void TcpServer::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.close();  // shutdown+close: wakes the blocked accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Interrupt handlers blocked on live peers (e.g., a keep-alive client
+  // that has not closed): shutting the stream down makes their next read
+  // return EOF. Streams stay owned by Connection, so this is safe while the
+  // handler thread still uses them.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    connection->stream.shutdown_both();
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+bool parse_segment_path(std::string_view target, std::size_t& level,
+                        std::size_t& number) {
+  constexpr std::string_view kPrefix = "/video/";
+  constexpr std::string_view kSeg = "seg-";
+  constexpr std::string_view kExt = ".m4s";
+  if (!util::starts_with(target, kPrefix)) return false;
+  target.remove_prefix(kPrefix.size());
+  const std::size_t slash = target.find('/');
+  if (slash == std::string_view::npos) return false;
+  if (!util::parse_size(target.substr(0, slash), level)) return false;
+  target.remove_prefix(slash + 1);
+  if (!util::starts_with(target, kSeg)) return false;
+  target.remove_prefix(kSeg.size());
+  if (target.size() <= kExt.size() ||
+      target.substr(target.size() - kExt.size()) != kExt) {
+    return false;
+  }
+  return util::parse_size(target.substr(0, target.size() - kExt.size()),
+                          number);
+}
+
+ChunkServer::ChunkServer(const media::VideoManifest& manifest,
+                         const trace::ThroughputTrace& trace, double speedup)
+    : manifest_(&manifest),
+      mpd_(media::to_mpd(manifest)),
+      shaper_(trace, speedup),
+      server_([this](TcpStream& stream) { handle_connection(stream); }) {}
+
+ChunkServer::~ChunkServer() { stop(); }
+
+void ChunkServer::start() { server_.start(); }
+
+void ChunkServer::stop() { server_.stop(); }
+
+void ChunkServer::reset_trace_clock() {
+  std::lock_guard<std::mutex> lock(shaper_mutex_);
+  shaper_.reset_epoch();
+}
+
+HttpResponse ChunkServer::route(const HttpRequest& request) const {
+  HttpResponse response;
+  if (request.method != "GET") {
+    response.status = 405;
+    response.reason = "Method Not Allowed";
+    return response;
+  }
+  if (request.target == "/manifest.mpd") {
+    response.headers.set("Content-Type", "application/dash+xml");
+    response.body = mpd_;
+    return response;
+  }
+  std::size_t level = 0;
+  std::size_t number = 0;
+  if (parse_segment_path(request.target, level, number) &&
+      level < manifest_->level_count() && number < manifest_->chunk_count()) {
+    const double kilobits = manifest_->chunk_kilobits(number, level);
+    const auto bytes = static_cast<std::size_t>(kilobits * 1000.0 / 8.0);
+    response.headers.set("Content-Type", "video/iso.segment");
+    // Deterministic filler payload; content is irrelevant to the transport.
+    response.body.assign(bytes, static_cast<char>('A' + (number + level) % 26));
+    return response;
+  }
+  response.status = 404;
+  response.reason = "Not Found";
+  return response;
+}
+
+void ChunkServer::handle_connection(TcpStream& stream) {
+  try {
+    stream.set_no_delay(true);
+    stream.set_timeout_ms(120000);
+    HttpConnection connection(&stream);
+    while (true) {
+      const auto request = connection.read_request();
+      if (!request.has_value()) return;  // client closed keep-alive
+      const HttpResponse response = route(*request);
+      ++requests_served_;
+
+      // Headers go out unshaped; the body is paced by the trace shaper
+      // (the emulated access link).
+      std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                         response.reason + "\r\n";
+      for (const auto& [key, value] : response.headers.entries) {
+        head += key + ": " + value + "\r\n";
+      }
+      head += "Content-Length: " + std::to_string(response.body.size()) +
+              "\r\n\r\n";
+      connection.stream().write_all(head);
+      {
+        std::lock_guard<std::mutex> lock(shaper_mutex_);
+        shaper_.send(connection.stream(), response.body);
+      }
+    }
+  } catch (const std::exception&) {
+    // Connection torn down (client abort / shutdown): drop it.
+  }
+}
+
+}  // namespace abr::net

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "net/http.hpp"
+#include "net/shaper.hpp"
+#include "net/socket.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace abr::net {
+
+/// A small threaded TCP server: one accept loop, one thread per connection,
+/// each running `session` until it returns (typically at client EOF).
+///
+/// The server retains ownership of every connection's stream so that stop()
+/// can interrupt handlers blocked on a live peer: it shuts down each stream
+/// (waking any blocked read), then joins every thread. Without this, a
+/// keep-alive client that never closes would deadlock shutdown.
+class TcpServer {
+ public:
+  /// Runs one connection; returns when done. The stream reference stays
+  /// valid for the duration of the call.
+  using SessionHandler = std::function<void(TcpStream&)>;
+
+  explicit TcpServer(SessionHandler session);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1 on an ephemeral port and starts accepting.
+  void start();
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  struct Connection {
+    TcpStream stream;
+    std::thread thread;
+  };
+
+  void accept_loop();
+
+  SessionHandler session_;
+  TcpListener listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> running_{false};
+};
+
+/// A synthetic DASH origin: serves the MPD and fixed-size segment payloads
+/// for a manifest, with every response body paced by a trace-driven shaper.
+/// Together with HttpChunkSource this reproduces the paper's emulation
+/// testbed (Section 7.2: node.js static server + tc shaping) in-process.
+///
+/// URL layout (matches the MPD's SegmentTemplate):
+///   GET /manifest.mpd
+///   GET /video/<representation-id>/seg-<number>.m4s
+class ChunkServer {
+ public:
+  /// The manifest and trace must outlive the server.
+  ChunkServer(const media::VideoManifest& manifest,
+              const trace::ThroughputTrace& trace, double speedup = 1.0);
+  ~ChunkServer();
+
+  void start();
+  void stop();
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Resets the shaper's trace clock to "now" (call right before the client
+  /// starts streaming so client session time and trace time align).
+  void reset_trace_clock();
+
+  /// Total requests served (observability for tests).
+  std::size_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  void handle_connection(TcpStream& stream);
+  HttpResponse route(const HttpRequest& request) const;
+
+  const media::VideoManifest* manifest_;
+  std::string mpd_;
+  TraceShaper shaper_;
+  std::mutex shaper_mutex_;
+  std::atomic<std::size_t> requests_served_{0};
+  TcpServer server_;
+};
+
+/// Parses "/video/<level>/seg-<number>.m4s"; returns false on any other
+/// shape. Exposed for tests.
+bool parse_segment_path(std::string_view target, std::size_t& level,
+                        std::size_t& number);
+
+}  // namespace abr::net

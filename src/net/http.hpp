@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace abr::net {
+
+/// An HTTP/1.1 message header block.
+struct HttpHeaders {
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// Case-insensitive lookup of the first matching header.
+  const std::string* find(std::string_view name) const;
+  void set(std::string name, std::string value);
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;  ///< origin-form, e.g. "/video/2/seg-7.m4s"
+  HttpHeaders headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  HttpHeaders headers;
+  std::string body;
+};
+
+/// Called as response body bytes arrive: (bytes_so_far, done).
+using ProgressCallback = std::function<void(std::size_t, bool)>;
+
+/// One HTTP/1.1 connection with persistent (keep-alive) semantics over a
+/// TcpStream. Handles request/response framing with Content-Length bodies —
+/// the subset a DASH origin needs. Malformed peers raise
+/// std::invalid_argument; transport failures raise std::system_error.
+///
+/// This is a from-scratch implementation (no third-party HTTP stack): the
+/// paper's emulation testbed (Section 7.2) is a plain node.js static server
+/// plus a browser player, and this class plays both roles.
+class HttpConnection {
+ public:
+  /// Owns the stream.
+  explicit HttpConnection(TcpStream stream);
+  /// Borrows a stream owned elsewhere (e.g., by TcpServer, which needs to
+  /// retain it so stop() can interrupt a blocked handler). `borrowed` must
+  /// outlive this object.
+  explicit HttpConnection(TcpStream* borrowed);
+
+  /// Server side: reads the next request. Returns nullopt on clean EOF
+  /// between requests (client closed keep-alive).
+  std::optional<HttpRequest> read_request();
+
+  /// Server side: writes a response, adding Content-Length.
+  void write_response(const HttpResponse& response);
+
+  /// Client side: writes a request, adding Host and Content-Length.
+  void write_request(const HttpRequest& request, const std::string& host);
+
+  /// Client side: reads a response; invokes `progress` as body bytes land.
+  HttpResponse read_response(const ProgressCallback& progress = nullptr);
+
+  TcpStream& stream() { return borrowed_ != nullptr ? *borrowed_ : owned_; }
+
+  /// Limits (guard against hostile peers).
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
+
+ private:
+  /// Reads until a blank line; returns the header block (without the final
+  /// CRLFCRLF). Returns nullopt on immediate EOF.
+  std::optional<std::string> read_header_block();
+  std::string read_exact(std::size_t size, const ProgressCallback& progress);
+
+  TcpStream owned_;
+  TcpStream* borrowed_ = nullptr;
+  std::string buffer_;  ///< bytes read past the last parsed message
+};
+
+/// Minimal HTTP GET client with a persistent connection; reconnects
+/// transparently after a server-side close.
+class HttpClient {
+ public:
+  HttpClient(std::string host, std::uint16_t port);
+
+  /// GETs `target`; throws std::runtime_error on non-2xx.
+  HttpResponse get(const std::string& target,
+                   const ProgressCallback& progress = nullptr);
+
+ private:
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  std::optional<HttpConnection> connection_;
+};
+
+/// Parses "GET /path HTTP/1.1" style request lines and status lines;
+/// exposed for tests.
+bool parse_request_line(std::string_view line, HttpRequest& out);
+bool parse_status_line(std::string_view line, HttpResponse& out);
+
+}  // namespace abr::net

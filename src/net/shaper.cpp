@@ -1,0 +1,51 @@
+#include "net/shaper.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace abr::net {
+
+TraceShaper::TraceShaper(const trace::ThroughputTrace& trace, double speedup)
+    : trace_(&trace),
+      speedup_(speedup),
+      epoch_(std::chrono::steady_clock::now()) {
+  assert(speedup > 0.0);
+}
+
+double TraceShaper::session_now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count() * speedup_;
+}
+
+void TraceShaper::reset_epoch() {
+  epoch_ = std::chrono::steady_clock::now();
+  sent_kilobits_ = 0.0;
+}
+
+void TraceShaper::send(TcpStream& stream, std::string_view data) {
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t quantum = std::min(kQuantumBytes, data.size() - offset);
+    const double quantum_kilobits =
+        static_cast<double>(quantum) * 8.0 / 1000.0;
+
+    // The trace allows this quantum once its cumulative capacity since the
+    // epoch reaches sent + quantum; compute that instant exactly via the
+    // trace's inverse integral and sleep the (scaled) difference.
+    const double release_session_s =
+        trace_->transfer_end_time(sent_kilobits_ + quantum_kilobits, 0.0);
+    const double now_session_s = session_now();
+    if (release_session_s > now_session_s) {
+      const double wall_sleep_s =
+          (release_session_s - now_session_s) / speedup_;
+      std::this_thread::sleep_for(std::chrono::duration<double>(wall_sleep_s));
+    }
+
+    stream.write_all(data.data() + offset, quantum);
+    offset += quantum;
+    sent_kilobits_ += quantum_kilobits;
+  }
+}
+
+}  // namespace abr::net

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <chrono>
+
+#include "net/socket.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace abr::net {
+
+/// Trace-driven link shaper: paces bytes written to a TcpStream so that the
+/// cumulative bytes sent track the integral of a throughput trace.
+///
+/// This replaces the `tc` token-bucket shaping of the paper's testbed
+/// (Section 7.2) with an application-level equivalent: before each quantum
+/// the shaper compares bytes-sent against the trace's allowance at the
+/// current (scaled) session time and sleeps until the allowance catches up.
+///
+/// `speedup` compresses session time: at speedup 20 a 260 s video session
+/// runs in 13 s of wall time, with trace rates scaled up correspondingly.
+/// On loopback (>10 Gbps raw) the shaped rate remains the bottleneck for
+/// any realistic trace, so the measured throughput at the client follows
+/// the trace as it would behind tc.
+class TraceShaper {
+ public:
+  /// The trace must outlive the shaper. The epoch (session time 0) is the
+  /// moment of construction; reset_epoch() restarts it.
+  TraceShaper(const trace::ThroughputTrace& trace, double speedup = 1.0);
+
+  /// Writes the buffer to the stream, pacing per the trace.
+  void send(TcpStream& stream, std::string_view data);
+
+  /// Session time now, seconds (trace timebase, i.e. wall time * speedup).
+  double session_now() const;
+
+  void reset_epoch();
+
+  /// Pacing quantum, bytes. Smaller = smoother shaping, more syscalls.
+  static constexpr std::size_t kQuantumBytes = 16 * 1024;
+
+ private:
+  const trace::ThroughputTrace* trace_;
+  double speedup_;
+  std::chrono::steady_clock::time_point epoch_;
+  double sent_kilobits_ = 0.0;  ///< cumulative shaped payload
+};
+
+}  // namespace abr::net

@@ -1,0 +1,157 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace abr::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+FileDescriptor::~FileDescriptor() { close(); }
+
+FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void FileDescriptor::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("TcpStream: bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("connect");
+  }
+  return TcpStream(std::move(fd));
+}
+
+std::size_t TcpStream::read(char* data, std::size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_.get(), data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno == EINTR) continue;
+    throw_errno("recv");
+  }
+}
+
+void TcpStream::write_all(const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_.get(), data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw_errno("send");
+  }
+}
+
+void TcpStream::set_timeout_ms(int milliseconds) {
+  timeval tv{};
+  tv.tv_sec = milliseconds / 1000;
+  tv.tv_usec = (milliseconds % 1000) * 1000;
+  if (::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt(SO_*TIMEO)");
+  }
+}
+
+void TcpStream::set_no_delay(bool enabled) {
+  const int flag = enabled ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) !=
+      0) {
+    throw_errno("setsockopt(TCP_NODELAY)");
+  }
+}
+
+void TcpStream::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+void TcpStream::shutdown_both() {
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+TcpListener TcpListener::bind_loopback(std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket");
+
+  const int reuse = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse)) !=
+      0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind");
+  }
+  if (::listen(fd.get(), 16) != 0) throw_errno("listen");
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("getsockname");
+  }
+
+  TcpListener listener;
+  listener.fd_ = std::move(fd);
+  listener.port_ = ntohs(bound.sin_port);
+  return listener;
+}
+
+TcpStream TcpListener::accept() {
+  while (true) {
+    const int client = ::accept(fd_.get(), nullptr, nullptr);
+    if (client >= 0) return TcpStream(FileDescriptor(client));
+    if (errno == EINTR) continue;
+    throw_errno("accept");
+  }
+}
+
+void TcpListener::close() {
+  // On Linux, close() alone does not wake a thread blocked in accept();
+  // shutdown() forces the pending accept to return (EINVAL), which is the
+  // documented orderly-shutdown path for this class.
+  if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.close();
+}
+
+}  // namespace abr::net

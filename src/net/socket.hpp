@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace abr::net {
+
+/// RAII owner of a POSIX file descriptor (Core Guidelines R.1): closes on
+/// destruction, move-only.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  ~FileDescriptor();
+
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+  FileDescriptor(FileDescriptor&& other) noexcept;
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes now (idempotent).
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP byte stream. All operations throw std::system_error on
+/// socket failure; read() returning 0 means orderly EOF.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FileDescriptor fd) : fd_(std::move(fd)) {}
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost").
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const { return fd_.valid(); }
+
+  /// Reads up to `size` bytes; returns bytes read, 0 on EOF.
+  std::size_t read(char* data, std::size_t size);
+
+  /// Writes the whole buffer (looping over partial writes).
+  void write_all(const char* data, std::size_t size);
+  void write_all(std::string_view text) { write_all(text.data(), text.size()); }
+
+  /// Sets SO_RCVTIMEO/SO_SNDTIMEO so a stuck peer cannot hang the player.
+  void set_timeout_ms(int milliseconds);
+
+  /// Disables Nagle; chunk transfers are latency-sensitive at their tail.
+  void set_no_delay(bool enabled);
+
+  /// Shuts down the write side (signals EOF to the peer).
+  void shutdown_write();
+
+  /// Shuts down both directions without closing the descriptor: any thread
+  /// blocked in read()/write() on this stream returns immediately. Safe to
+  /// call from another thread (the canonical way to interrupt a blocked
+  /// connection handler).
+  void shutdown_both();
+
+  void close() { fd_.close(); }
+
+ private:
+  FileDescriptor fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds and listens; port 0 picks an ephemeral port.
+  static TcpListener bind_loopback(std::uint16_t port = 0);
+
+  /// The actual bound port.
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. Throws std::system_error if the
+  /// listener was closed (the orderly shutdown path).
+  TcpStream accept();
+
+  /// Unblocks any accept() in progress.
+  void close();
+
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  FileDescriptor fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace abr::net

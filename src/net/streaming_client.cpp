@@ -1,0 +1,78 @@
+#include "net/streaming_client.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "media/mpd.hpp"
+#include "net/chunk_server.hpp"
+
+namespace abr::net {
+
+HttpChunkSource::HttpChunkSource(std::string host, std::uint16_t port,
+                                 const media::VideoManifest& manifest,
+                                 double speedup)
+    : client_(host, port),
+      host_(std::move(host)),
+      manifest_(&manifest),
+      speedup_(speedup),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (speedup <= 0.0) {
+    throw std::invalid_argument("HttpChunkSource: non-positive speedup");
+  }
+}
+
+double HttpChunkSource::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double>(elapsed).count() * speedup_;
+}
+
+sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk, std::size_t level) {
+  const std::string target = "/video/" + std::to_string(level) + "/seg-" +
+                             std::to_string(chunk) + ".m4s";
+  const auto start = std::chrono::steady_clock::now();
+  const HttpResponse response = client_.get(target);
+  const auto end = std::chrono::steady_clock::now();
+
+  sim::FetchOutcome outcome;
+  outcome.duration_s =
+      std::max(std::chrono::duration<double>(end - start).count() * speedup_,
+               1e-6);
+  outcome.kilobits = static_cast<double>(response.body.size()) * 8.0 / 1000.0;
+  return outcome;
+}
+
+void HttpChunkSource::wait(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds / speedup_));
+}
+
+media::VideoManifest HttpChunkSource::fetch_manifest() {
+  const HttpResponse response = client_.get("/manifest.mpd");
+  media::VideoManifest fetched = media::from_mpd(response.body);
+  if (fetched.level_count() != manifest_->level_count() ||
+      fetched.chunk_count() != manifest_->chunk_count()) {
+    throw std::runtime_error("fetch_manifest: origin disagrees with local");
+  }
+  return fetched;
+}
+
+sim::SessionResult run_emulated_session(
+    const trace::ThroughputTrace& trace, const media::VideoManifest& manifest,
+    const qoe::QoeModel& qoe, const sim::SessionConfig& config,
+    sim::BitrateController& controller,
+    predict::ThroughputPredictor& predictor, double speedup) {
+  ChunkServer server(manifest, trace, speedup);
+  server.start();
+
+  HttpChunkSource source("127.0.0.1", server.port(), manifest, speedup);
+  server.reset_trace_clock();
+
+  sim::PlayerSession session(manifest, qoe, config);
+  sim::SessionResult result = session.run(source, controller, predictor);
+  server.stop();
+  return result;
+}
+
+}  // namespace abr::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "media/manifest.hpp"
+#include "net/http.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/chunk_source.hpp"
+#include "sim/player.hpp"
+
+namespace abr::net {
+
+/// A sim::ChunkSource that fetches chunks over real HTTP, converting wall
+/// time to session time by the emulation speedup. Plugging this into
+/// PlayerSession turns the simulator into the paper's real-player emulation
+/// (Section 7.2): same controller, same buffer logic, but transfers cross an
+/// actual TCP connection shaped by the server.
+class HttpChunkSource final : public sim::ChunkSource {
+ public:
+  /// The manifest must outlive the source. `speedup` must match the
+  /// server-side shaper's.
+  HttpChunkSource(std::string host, std::uint16_t port,
+                  const media::VideoManifest& manifest, double speedup = 1.0);
+
+  sim::FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
+  void wait(double seconds) override;
+  double now() const override;
+
+  /// Downloads and parses the origin's MPD; throws if it does not match the
+  /// local manifest's ladder (sanity check that client and server agree).
+  media::VideoManifest fetch_manifest();
+
+ private:
+  HttpClient client_;
+  std::string host_;
+  const media::VideoManifest* manifest_;
+  double speedup_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Runs one full emulated streaming session: starts a shaped ChunkServer on
+/// loopback, streams the whole video through PlayerSession with the given
+/// controller/predictor, and returns the same SessionResult the simulator
+/// produces. `speedup` compresses the session (e.g., 20 => a 260 s video
+/// takes ~13 s of wall time).
+sim::SessionResult run_emulated_session(
+    const trace::ThroughputTrace& trace, const media::VideoManifest& manifest,
+    const qoe::QoeModel& qoe, const sim::SessionConfig& config,
+    sim::BitrateController& controller,
+    predict::ThroughputPredictor& predictor, double speedup = 20.0);
+
+}  // namespace abr::net

@@ -1,0 +1,142 @@
+#include "predict/predictor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace abr::predict {
+
+namespace {
+
+/// Last `window` entries of the history (or fewer if short).
+std::span<const double> tail(std::span<const double> history,
+                             std::size_t window) {
+  if (history.size() <= window) return history;
+  return history.subspan(history.size() - window);
+}
+
+/// True mean throughput over each of the next `horizon` windows of
+/// `chunk_duration_s` starting at `now_s`.
+std::vector<double> true_future_means(const PredictionInput& input,
+                                      std::size_t horizon) {
+  if (input.truth == nullptr) {
+    throw std::logic_error(
+        "oracle predictor requires ground-truth trace (simulation only)");
+  }
+  assert(input.chunk_duration_s > 0.0);
+  std::vector<double> result(horizon);
+  for (std::size_t i = 0; i < horizon; ++i) {
+    const double t0 = input.now_s + static_cast<double>(i) * input.chunk_duration_s;
+    const double t1 = t0 + input.chunk_duration_s;
+    result[i] = input.truth->kilobits_between(t0, t1) / input.chunk_duration_s;
+  }
+  return result;
+}
+
+}  // namespace
+
+HarmonicMeanPredictor::HarmonicMeanPredictor(std::size_t window)
+    : window_(window) {
+  assert(window > 0);
+}
+
+std::vector<double> HarmonicMeanPredictor::predict(const PredictionInput& input,
+                                                   std::size_t horizon) {
+  const double estimate = util::harmonic_mean(tail(input.history_kbps, window_));
+  return std::vector<double>(horizon, estimate);
+}
+
+std::string HarmonicMeanPredictor::name() const {
+  return "harmonic-mean-" + std::to_string(window_);
+}
+
+SlidingMeanPredictor::SlidingMeanPredictor(std::size_t window)
+    : window_(window) {
+  assert(window > 0);
+}
+
+std::vector<double> SlidingMeanPredictor::predict(const PredictionInput& input,
+                                                  std::size_t horizon) {
+  const double estimate = util::mean(tail(input.history_kbps, window_));
+  return std::vector<double>(horizon, estimate);
+}
+
+std::string SlidingMeanPredictor::name() const {
+  return "sliding-mean-" + std::to_string(window_);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+std::vector<double> EwmaPredictor::predict(const PredictionInput& input,
+                                           std::size_t horizon) {
+  if (input.history_kbps.empty()) return std::vector<double>(horizon, 0.0);
+  double estimate = input.history_kbps.front();
+  for (std::size_t i = 1; i < input.history_kbps.size(); ++i) {
+    estimate = alpha_ * input.history_kbps[i] + (1.0 - alpha_) * estimate;
+  }
+  return std::vector<double>(horizon, estimate);
+}
+
+std::string EwmaPredictor::name() const { return "ewma"; }
+
+std::vector<double> PerfectPredictor::predict(const PredictionInput& input,
+                                              std::size_t horizon) {
+  return true_future_means(input, horizon);
+}
+
+std::string PerfectPredictor::name() const { return "perfect"; }
+
+NoisyOraclePredictor::NoisyOraclePredictor(double error_level,
+                                           std::uint64_t seed)
+    : error_level_(error_level), rng_(seed) {
+  assert(error_level >= 0.0);
+}
+
+std::vector<double> NoisyOraclePredictor::predict(const PredictionInput& input,
+                                                  std::size_t horizon) {
+  std::vector<double> forecast = true_future_means(input, horizon);
+  for (double& value : forecast) {
+    const double magnitude = rng_.uniform(0.0, 2.0 * error_level_);
+    const double sign = rng_.uniform() < 0.5 ? -1.0 : 1.0;
+    // Clamp so a corrupted forecast can never go non-positive.
+    value *= std::max(0.05, 1.0 + sign * magnitude);
+  }
+  return forecast;
+}
+
+std::string NoisyOraclePredictor::name() const {
+  return "noisy-oracle-" + std::to_string(error_level_);
+}
+
+double average_prediction_error(const trace::ThroughputTrace& trace,
+                                ThroughputPredictor& predictor,
+                                double interval_s, double duration_s) {
+  assert(interval_s > 0.0 && duration_s > interval_s);
+  std::vector<double> history;
+  double error_sum = 0.0;
+  std::size_t error_count = 0;
+  const auto steps = static_cast<std::size_t>(duration_s / interval_s);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t0 = static_cast<double>(i) * interval_s;
+    const double actual = trace.kilobits_between(t0, t0 + interval_s) / interval_s;
+    if (!history.empty()) {
+      PredictionInput input;
+      input.history_kbps = history;
+      input.chunk_duration_s = interval_s;
+      const double predicted = predictor.predict(input, 1).front();
+      if (predicted > 0.0 && actual > 0.0) {
+        error_sum += (predicted - actual) / actual;
+        ++error_count;
+      }
+    }
+    history.push_back(actual);
+  }
+  return error_count == 0 ? 0.0
+                          : error_sum / static_cast<double>(error_count);
+}
+
+}  // namespace abr::predict

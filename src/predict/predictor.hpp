@@ -1,0 +1,133 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/throughput_trace.hpp"
+#include "util/rng.hpp"
+
+namespace abr::predict {
+
+/// Everything a predictor may observe when forecasting the next chunks.
+struct PredictionInput {
+  /// Measured average throughput of each past chunk download, oldest first,
+  /// kbps. Empty before the first chunk completes.
+  std::span<const double> history_kbps;
+
+  /// Current session time, seconds. Used by oracle predictors only.
+  double now_s = 0.0;
+
+  /// Nominal chunk play duration, seconds. Oracle predictors forecast the
+  /// true mean throughput over successive windows of this length.
+  double chunk_duration_s = 0.0;
+
+  /// Ground-truth trace. Null outside simulation (e.g., when driving a real
+  /// network session); oracle predictors then throw.
+  const trace::ThroughputTrace* truth = nullptr;
+};
+
+/// Forecasts per-chunk average throughput for the next `horizon` chunks.
+///
+/// The paper treats predictor design as out of scope (Section 3.3) and
+/// characterizes predictors by their error; accordingly this interface
+/// covers both practical history-based estimators (harmonic mean — the
+/// paper's choice, Section 7.1.2) and synthetic oracles with controlled
+/// error used by the sensitivity experiments (Fig. 11a, Fig. 12b).
+class ThroughputPredictor {
+ public:
+  virtual ~ThroughputPredictor() = default;
+
+  /// Returns `horizon` per-chunk throughput forecasts, kbps. A forecast of
+  /// 0 means "no information" (empty history); controllers fall back to the
+  /// lowest bitrate in that case.
+  virtual std::vector<double> predict(const PredictionInput& input,
+                                      std::size_t horizon) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Harmonic mean of the last `window` per-chunk throughputs, applied as a
+/// flat forecast across the horizon. The paper's production predictor:
+/// robust to the single-chunk outliers that bias arithmetic means high.
+class HarmonicMeanPredictor final : public ThroughputPredictor {
+ public:
+  explicit HarmonicMeanPredictor(std::size_t window = 5);
+
+  std::vector<double> predict(const PredictionInput& input,
+                              std::size_t horizon) override;
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Arithmetic sliding mean (the estimator the harmonic mean is compared
+/// against; biased high under bursty throughput).
+class SlidingMeanPredictor final : public ThroughputPredictor {
+ public:
+  explicit SlidingMeanPredictor(std::size_t window = 5);
+
+  std::vector<double> predict(const PredictionInput& input,
+                              std::size_t horizon) override;
+  std::string name() const override;
+
+ private:
+  std::size_t window_;
+};
+
+/// Exponentially weighted moving average with smoothing factor alpha in
+/// (0, 1]; higher alpha tracks faster.
+class EwmaPredictor final : public ThroughputPredictor {
+ public:
+  explicit EwmaPredictor(double alpha = 0.4);
+
+  std::vector<double> predict(const PredictionInput& input,
+                              std::size_t horizon) override;
+  std::string name() const override;
+
+ private:
+  double alpha_;
+};
+
+/// Perfect foresight: the true mean throughput over each of the next
+/// `horizon` chunk-duration windows. Implements the paper's "MPC-OPT"
+/// configuration ("exact MPC with perfect throughput prediction for the
+/// next 5 chunks", Section 7.1.2). Requires `input.truth`.
+class PerfectPredictor final : public ThroughputPredictor {
+ public:
+  std::vector<double> predict(const PredictionInput& input,
+                              std::size_t horizon) override;
+  std::string name() const override;
+};
+
+/// Ground truth corrupted by controlled multiplicative noise: each forecast
+/// is true * (1 + e) with |e| ~ Uniform(0, 2 * error_level) and random sign,
+/// so the *average* absolute percentage error equals `error_level`. This is
+/// the noise model of Fig. 11a ("the prediction output as being a
+/// combination of the true throughput with added random noise according to
+/// the average error level"). Requires `input.truth`.
+class NoisyOraclePredictor final : public ThroughputPredictor {
+ public:
+  NoisyOraclePredictor(double error_level, std::uint64_t seed);
+
+  std::vector<double> predict(const PredictionInput& input,
+                              std::size_t horizon) override;
+  std::string name() const override;
+
+  double error_level() const { return error_level_; }
+
+ private:
+  double error_level_;
+  util::Rng rng_;
+};
+
+/// Signed mean percentage prediction error of a history-based predictor over
+/// one trace, evaluated on `interval_s`-second interval averages (the Fig. 7
+/// right-panel statistic). Positive = over-estimation.
+double average_prediction_error(const trace::ThroughputTrace& trace,
+                                ThroughputPredictor& predictor,
+                                double interval_s, double duration_s);
+
+}  // namespace abr::predict

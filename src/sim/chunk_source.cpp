@@ -1,0 +1,26 @@
+#include "sim/chunk_source.hpp"
+
+#include <cassert>
+
+namespace abr::sim {
+
+TraceChunkSource::TraceChunkSource(const trace::ThroughputTrace& trace,
+                                   const media::VideoManifest& manifest)
+    : trace_(&trace), manifest_(&manifest) {}
+
+FetchOutcome TraceChunkSource::fetch(std::size_t chunk, std::size_t level) {
+  const double kilobits = manifest_->chunk_kilobits(chunk, level);
+  const double end_s = trace_->transfer_end_time(kilobits, now_s_);
+  FetchOutcome outcome;
+  outcome.duration_s = end_s - now_s_;
+  outcome.kilobits = kilobits;
+  now_s_ = end_s;
+  return outcome;
+}
+
+void TraceChunkSource::wait(double seconds) {
+  assert(seconds >= 0.0);
+  now_s_ += seconds;
+}
+
+}  // namespace abr::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+#include "media/manifest.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace abr::sim {
+
+/// Outcome of one chunk transfer.
+struct FetchOutcome {
+  double duration_s = 0.0;   ///< wall (or virtual) time the transfer took
+  double kilobits = 0.0;     ///< payload size actually transferred
+};
+
+/// Where chunks come from and how time passes while they do.
+///
+/// Two implementations exist: TraceChunkSource advances a virtual clock
+/// through a throughput trace (the simulation framework of Section 7.3), and
+/// net::HttpChunkSource performs real HTTP transfers over a shaped loopback
+/// connection (the emulation testbed of Section 7.2). PlayerSession runs the
+/// identical buffer/QoE logic over either, which is what makes simulated and
+/// emulated results directly comparable.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Transfers chunk `chunk` at ladder index `level`; blocks (in virtual or
+  /// real time) until complete.
+  virtual FetchOutcome fetch(std::size_t chunk, std::size_t level) = 0;
+
+  /// Passes `seconds` of session time without transferring (buffer-full
+  /// waits).
+  virtual void wait(double seconds) = 0;
+
+  /// Session clock, seconds since the source was created/reset.
+  virtual double now() const = 0;
+
+  /// Ground-truth trace when one exists (simulation); null on real networks.
+  /// Oracle predictors require it.
+  virtual const trace::ThroughputTrace* truth() const { return nullptr; }
+};
+
+/// Virtual-time source: transfer times follow Eq. (2) of the paper exactly —
+/// the integral of the trace's C_t over the download interval.
+class TraceChunkSource final : public ChunkSource {
+ public:
+  /// Both referents must outlive the source.
+  TraceChunkSource(const trace::ThroughputTrace& trace,
+                   const media::VideoManifest& manifest);
+
+  FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
+  void wait(double seconds) override;
+  double now() const override { return now_s_; }
+  const trace::ThroughputTrace* truth() const override { return trace_; }
+
+ private:
+  const trace::ThroughputTrace* trace_;
+  const media::VideoManifest* manifest_;
+  double now_s_ = 0.0;
+};
+
+}  // namespace abr::sim

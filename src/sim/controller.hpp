@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+
+#include "media/manifest.hpp"
+
+namespace abr::sim {
+
+/// Everything the player exposes to the bitrate controller at a chunk
+/// boundary — the observed feedback signals of Eq. (12) of the paper:
+/// buffer occupancy B_k, previous decisions, and throughput information.
+struct AbrState {
+  /// Index of the chunk about to be downloaded (0-based).
+  std::size_t chunk_index = 0;
+
+  /// Current buffer occupancy B_k, seconds of playable video.
+  double buffer_s = 0.0;
+
+  /// Ladder index of the previous chunk; meaningless when !has_prev.
+  std::size_t prev_level = 0;
+  bool has_prev = false;
+
+  /// Measured average throughput of each completed chunk download, oldest
+  /// first, kbps.
+  std::span<const double> throughput_history_kbps;
+
+  /// Predictor forecasts for the next chunks, kbps (length >= the
+  /// controller's prediction_horizon(), clipped to remaining chunks).
+  /// A forecast of 0 means "no information yet".
+  std::span<const double> prediction_kbps;
+
+  /// Session clock, seconds since the session began.
+  double now_s = 0.0;
+
+  /// Whether playback has started (false during the startup phase).
+  bool playback_started = false;
+};
+
+/// A bitrate adaptation policy: the function f(.) of Eq. (12).
+///
+/// Implementations are deliberately stateful-but-resettable objects (FESTIVE
+/// tracks switch history, RobustMPC tracks prediction errors), reused across
+/// sessions via reset().
+class BitrateController {
+ public:
+  virtual ~BitrateController() = default;
+
+  /// Picks the ladder index for state.chunk_index.
+  virtual std::size_t decide(const AbrState& state,
+                             const media::VideoManifest& manifest) = 0;
+
+  /// How many future chunks of prediction this controller wants (the MPC
+  /// look-ahead horizon N; 1 for memoryless policies).
+  virtual std::size_t prediction_horizon() const { return 1; }
+
+  /// Clears cross-chunk state before a new session.
+  virtual void reset() {}
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace abr::sim

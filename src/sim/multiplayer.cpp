@@ -1,0 +1,308 @@
+#include "sim/multiplayer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace abr::sim {
+
+double jain_index(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+namespace {
+
+/// Per-player simulation state.
+struct Player {
+  enum class Phase { kIdle, kDownloading, kWaiting, kDone };
+
+  Phase phase = Phase::kIdle;
+  double join_time_s = 0.0;
+
+  std::size_t next_chunk = 0;
+  std::size_t level = 0;
+  double remaining_kb = 0.0;     ///< of the in-flight chunk
+  double chunk_kb = 0.0;
+  double download_started_s = 0.0;
+  double wait_until_s = 0.0;
+
+  double buffer_s = 0.0;
+  bool playing = false;
+  double startup_delay_s = 0.0;
+  double stall_s = 0.0;          ///< stall accumulated for the current chunk
+  double buffer_before_s = 0.0;  ///< B_k at the decision point
+
+  std::size_t prev_level = 0;
+  bool has_prev = false;
+  std::vector<double> history_kbps;
+
+  SessionResult result;
+  qoe::QoeModel::Accumulator qoe_acc;
+
+  explicit Player(const qoe::QoeModel& model) : qoe_acc(model) {}
+};
+
+}  // namespace
+
+MultiPlayerResult simulate_shared_link(
+    const trace::ThroughputTrace& link, const media::VideoManifest& manifest,
+    const qoe::QoeModel& qoe, const MultiPlayerConfig& config,
+    std::span<BitrateController* const> controllers,
+    std::span<predict::ThroughputPredictor* const> predictors) {
+  if (controllers.empty() || controllers.size() != predictors.size()) {
+    throw std::invalid_argument(
+        "simulate_shared_link: need one controller and predictor per player");
+  }
+  if (config.session.startup_policy == StartupPolicy::kFixedDelay) {
+    throw std::invalid_argument(
+        "simulate_shared_link: fixed-delay startup is not supported");
+  }
+  if (config.time_step_s <= 0.0) {
+    throw std::invalid_argument("simulate_shared_link: bad time step");
+  }
+
+  const std::size_t n = controllers.size();
+  const double chunk_duration = manifest.chunk_duration_s();
+  const double capacity = config.session.buffer_capacity_s;
+  const std::size_t chunk_count = manifest.chunk_count();
+  const double dt = config.time_step_s;
+
+  std::vector<Player> players;
+  players.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    controllers[i]->reset();
+    Player player(qoe);
+    player.join_time_s = static_cast<double>(i) * config.startup_stagger_s;
+    players.push_back(std::move(player));
+  }
+
+  // Starts the download of `player`'s next chunk (runs the controller).
+  const auto begin_chunk = [&](Player& player, std::size_t index, double now) {
+    predict::PredictionInput input;
+    input.history_kbps = player.history_kbps;
+    input.now_s = now;
+    input.chunk_duration_s = chunk_duration;
+    input.truth = nullptr;  // the fair share is not the raw trace
+    const std::size_t horizon = std::max<std::size_t>(
+        1, std::min(controllers[index]->prediction_horizon(),
+                    chunk_count - player.next_chunk));
+    const std::vector<double> predictions =
+        predictors[index]->predict(input, horizon);
+
+    AbrState state;
+    state.chunk_index = player.next_chunk;
+    state.buffer_s = player.buffer_s;
+    state.prev_level = player.prev_level;
+    state.has_prev = player.has_prev;
+    state.throughput_history_kbps = player.history_kbps;
+    state.prediction_kbps = predictions;
+    state.now_s = now;
+    state.playback_started = player.playing;
+    const std::size_t level = controllers[index]->decide(state, manifest);
+    if (level >= manifest.level_count()) {
+      throw std::logic_error("shared-link controller returned bad level");
+    }
+
+    player.level = level;
+    player.chunk_kb = manifest.chunk_kilobits(player.next_chunk, level);
+    player.remaining_kb = player.chunk_kb;
+    player.download_started_s = now;
+    player.stall_s = 0.0;
+    player.buffer_before_s = player.buffer_s;
+    player.phase = Player::Phase::kDownloading;
+
+    ChunkRecord record;
+    record.index = player.next_chunk;
+    record.level = level;
+    record.bitrate_kbps = manifest.bitrate_kbps(level);
+    record.size_kilobits = player.chunk_kb;
+    record.start_s = now;
+    record.buffer_before_s = player.buffer_s;
+    record.predicted_kbps = predictions.empty() ? 0.0 : predictions.front();
+    player.result.chunks.push_back(record);
+  };
+
+  double now = 0.0;
+  double delivered_kb = 0.0;
+  double busy_span_end = 0.0;
+  bool all_done = false;
+
+  while (!all_done) {
+    // 1. Phase transitions that happen at this instant.
+    for (std::size_t i = 0; i < n; ++i) {
+      Player& player = players[i];
+      if (player.phase == Player::Phase::kIdle && now + 1e-12 >= player.join_time_s) {
+        begin_chunk(player, i, now);
+      } else if (player.phase == Player::Phase::kWaiting &&
+                 now + 1e-12 >= player.wait_until_s) {
+        if (player.next_chunk < chunk_count) {
+          begin_chunk(player, i, now);
+        } else {
+          player.phase = Player::Phase::kDone;
+        }
+      }
+    }
+
+    // 2. Fair share for this step.
+    std::size_t active = 0;
+    for (const Player& player : players) {
+      if (player.phase == Player::Phase::kDownloading) ++active;
+    }
+
+    const double step_kb = link.kilobits_between(now, now + dt);
+    const double share_kb =
+        active > 0 ? step_kb / static_cast<double>(active) : 0.0;
+    if (active > 0) {
+      delivered_kb += step_kb;
+      busy_span_end = now + dt;
+    }
+
+    // 3. Advance every player by dt.
+    for (std::size_t i = 0; i < n; ++i) {
+      Player& player = players[i];
+      switch (player.phase) {
+        case Player::Phase::kIdle:
+        case Player::Phase::kDone:
+          break;
+        case Player::Phase::kWaiting:
+          // The buffer-full wait already accounted for its drain when the
+          // buffer was clamped to capacity at append time (same convention
+          // as PlayerSession): the buffer sits at Bmax when the wait ends.
+          break;
+        case Player::Phase::kDownloading: {
+          if (player.playing) {
+            const double drained = std::min(player.buffer_s, dt);
+            player.stall_s += dt - drained;
+            player.buffer_s -= drained;
+          }
+          player.remaining_kb -= share_kb;
+          if (player.remaining_kb <= 1e-9) {
+            // Chunk complete.
+            const double end = now + dt;
+            const double duration =
+                std::max(end - player.download_started_s, 1e-9);
+            ChunkRecord& record = player.result.chunks.back();
+            record.download_s = duration;
+            record.throughput_kbps = player.chunk_kb / duration;
+            record.rebuffer_s = player.stall_s;
+
+            player.buffer_s += chunk_duration;
+            if (!player.playing) {
+              switch (config.session.startup_policy) {
+                case StartupPolicy::kFirstChunk:
+                  player.playing = true;
+                  player.startup_delay_s = end - player.join_time_s;
+                  break;
+                case StartupPolicy::kBufferThreshold:
+                  if (player.buffer_s >=
+                      config.session.startup_buffer_threshold_s) {
+                    player.playing = true;
+                    player.startup_delay_s = end - player.join_time_s;
+                  }
+                  break;
+                case StartupPolicy::kFixedDelay:
+                  break;  // rejected above
+              }
+            }
+
+            double wait_s = 0.0;
+            if (player.buffer_s > capacity) {
+              wait_s = player.buffer_s - capacity;
+              player.buffer_s = capacity;
+            }
+            record.wait_s = wait_s;
+            record.buffer_after_s = player.buffer_s;
+
+            player.qoe_acc.add_chunk(record.bitrate_kbps, record.rebuffer_s);
+            player.history_kbps.push_back(record.throughput_kbps);
+            player.prev_level = player.level;
+            player.has_prev = true;
+            ++player.next_chunk;
+
+            if (wait_s > 0.0 || player.next_chunk >= chunk_count) {
+              player.wait_until_s = end + wait_s;
+              player.phase = player.next_chunk >= chunk_count
+                                 ? Player::Phase::kDone
+                                 : Player::Phase::kWaiting;
+            } else {
+              begin_chunk(player, i, end);
+            }
+          }
+          break;
+        }
+      }
+    }
+
+    now += dt;
+    all_done = true;
+    for (const Player& player : players) {
+      if (player.phase != Player::Phase::kDone) {
+        all_done = false;
+        break;
+      }
+    }
+    // Safety valve: a link far too slow for even the lowest bitrate would
+    // otherwise spin forever.
+    if (now > 100.0 * manifest.duration_s() + 1000.0) {
+      throw std::runtime_error("simulate_shared_link: link cannot sustain video");
+    }
+  }
+
+  // Finalize per-player results.
+  MultiPlayerResult result;
+  result.players.reserve(n);
+  std::vector<double> average_bitrates;
+  for (Player& player : players) {
+    player.qoe_acc.set_startup_delay(
+        config.session.include_startup_in_qoe ? player.startup_delay_s : 0.0);
+    SessionResult& session = player.result;
+    session.startup_delay_s = player.startup_delay_s;
+    session.total_rebuffer_s = player.qoe_acc.total_rebuffer_s();
+    session.qoe = player.qoe_acc.total();
+    session.session_duration_s = now;
+
+    double bitrate_sum = 0.0;
+    double change_sum = 0.0;
+    double wait_sum = 0.0;
+    std::size_t stalled = 0;
+    for (std::size_t k = 0; k < session.chunks.size(); ++k) {
+      const ChunkRecord& r = session.chunks[k];
+      bitrate_sum += r.bitrate_kbps;
+      wait_sum += r.wait_s;
+      if (r.rebuffer_s > 0.0) ++stalled;
+      if (k > 0) {
+        const double delta =
+            std::abs(r.bitrate_kbps - session.chunks[k - 1].bitrate_kbps);
+        change_sum += delta;
+        if (delta > 0.0) ++session.switch_count;
+      }
+    }
+    const auto chunks = static_cast<double>(session.chunks.size());
+    session.average_bitrate_kbps = chunks > 0 ? bitrate_sum / chunks : 0.0;
+    session.average_bitrate_change_kbps =
+        session.chunks.size() > 1 ? change_sum / (chunks - 1.0) : 0.0;
+    session.total_wait_s = wait_sum;
+    session.rebuffer_chunk_fraction =
+        chunks > 0 ? static_cast<double>(stalled) / chunks : 0.0;
+
+    average_bitrates.push_back(session.average_bitrate_kbps);
+    result.players.push_back(std::move(session));
+  }
+
+  result.jain_fairness = jain_index(average_bitrates);
+  const double offered_kb = link.kilobits_between(0.0, busy_span_end);
+  result.link_utilization =
+      offered_kb > 0.0 ? delivered_kb / offered_kb : 0.0;
+  return result;
+}
+
+}  // namespace abr::sim

@@ -1,0 +1,227 @@
+#include "sim/player.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace abr::sim {
+
+PlayerSession::PlayerSession(const media::VideoManifest& manifest,
+                             const qoe::QoeModel& qoe, SessionConfig config)
+    : manifest_(&manifest), qoe_(&qoe), config_(config) {
+  if (config_.buffer_capacity_s <= 0.0) {
+    throw std::invalid_argument("SessionConfig: non-positive buffer capacity");
+  }
+  if (config_.startup_policy == StartupPolicy::kFixedDelay &&
+      config_.fixed_startup_delay_s < 0.0) {
+    throw std::invalid_argument("SessionConfig: negative fixed startup delay");
+  }
+  if (config_.startup_policy == StartupPolicy::kBufferThreshold &&
+      config_.startup_buffer_threshold_s > config_.buffer_capacity_s) {
+    throw std::invalid_argument(
+        "SessionConfig: startup threshold above buffer capacity");
+  }
+}
+
+SessionResult PlayerSession::run(ChunkSource& source,
+                                 BitrateController& controller,
+                                 predict::ThroughputPredictor& predictor) const {
+  controller.reset();
+
+  const media::VideoManifest& manifest = *manifest_;
+  const double chunk_duration = manifest.chunk_duration_s();
+  const double buffer_capacity = config_.buffer_capacity_s;
+  const std::size_t chunk_count = manifest.chunk_count();
+
+  SessionResult result;
+  result.chunks.reserve(chunk_count);
+
+  qoe::QoeModel::Accumulator qoe_acc(*qoe_);
+
+  std::vector<double> history_kbps;
+  history_kbps.reserve(chunk_count);
+
+  double buffer_s = 0.0;
+  bool playing = false;
+  double startup_delay = 0.0;
+  std::size_t prev_level = 0;
+  bool has_prev = false;
+
+  // Drains `drain_s` of playback from the buffer and returns the stall time
+  // incurred (the part not covered by buffered video).
+  const auto drain = [&buffer_s](double drain_s) {
+    assert(drain_s >= 0.0);
+    const double stall = std::max(0.0, drain_s - buffer_s);
+    buffer_s = std::max(0.0, buffer_s - drain_s);
+    return stall;
+  };
+
+  for (std::size_t k = 0; k < chunk_count; ++k) {
+    const double now = source.now();
+
+    // Fixed-delay startup: playback may begin while the player idles or
+    // between downloads.
+    if (!playing && config_.startup_policy == StartupPolicy::kFixedDelay &&
+        now >= config_.fixed_startup_delay_s) {
+      playing = true;
+      startup_delay = config_.fixed_startup_delay_s;
+      // Time already elapsed past Ts was play time.
+      drain(now - config_.fixed_startup_delay_s);
+    }
+
+    // 1. Predict.
+    predict::PredictionInput input;
+    input.history_kbps = history_kbps;
+    input.now_s = now;
+    input.chunk_duration_s = chunk_duration;
+    input.truth = source.truth();
+    const std::size_t horizon =
+        std::min(controller.prediction_horizon(), chunk_count - k);
+    const std::vector<double> predictions =
+        predictor.predict(input, std::max<std::size_t>(horizon, 1));
+
+    // 2. Decide.
+    AbrState state;
+    state.chunk_index = k;
+    state.buffer_s = buffer_s;
+    state.prev_level = prev_level;
+    state.has_prev = has_prev;
+    state.throughput_history_kbps = history_kbps;
+    state.prediction_kbps = predictions;
+    state.now_s = now;
+    state.playback_started = playing;
+    const std::size_t level = controller.decide(state, manifest);
+    if (level >= manifest.level_count()) {
+      throw std::logic_error("controller '" + controller.name() +
+                             "' returned an out-of-range ladder index");
+    }
+
+    // 3. Download.
+    ChunkRecord record;
+    record.index = k;
+    record.level = level;
+    record.bitrate_kbps = manifest.bitrate_kbps(level);
+    record.size_kilobits = manifest.chunk_kilobits(k, level);
+    record.start_s = now;
+    record.buffer_before_s = buffer_s;
+    record.predicted_kbps = predictions.empty() ? 0.0 : predictions.front();
+
+    const FetchOutcome outcome = source.fetch(k, level);
+    assert(outcome.duration_s > 0.0);
+    record.download_s = outcome.duration_s;
+    record.throughput_kbps = outcome.kilobits / outcome.duration_s;
+
+    // 4. Buffer dynamics during the download (Eq. (3)).
+    double rebuffer_s = 0.0;
+    if (playing) {
+      rebuffer_s = drain(outcome.duration_s);
+    } else if (config_.startup_policy == StartupPolicy::kFixedDelay &&
+               source.now() > config_.fixed_startup_delay_s) {
+      // Playback started mid-download.
+      playing = true;
+      startup_delay = config_.fixed_startup_delay_s;
+      rebuffer_s = drain(source.now() - config_.fixed_startup_delay_s);
+    }
+    buffer_s += chunk_duration;
+
+    // 5. Startup transitions that trigger on chunk completion.
+    if (!playing) {
+      switch (config_.startup_policy) {
+        case StartupPolicy::kFirstChunk:
+          playing = true;
+          startup_delay = source.now();
+          break;
+        case StartupPolicy::kBufferThreshold:
+          if (buffer_s >= config_.startup_buffer_threshold_s) {
+            playing = true;
+            startup_delay = source.now();
+          }
+          break;
+        case StartupPolicy::kFixedDelay:
+          break;  // handled by the clock checks above
+      }
+    }
+
+    // 6. Buffer-full wait (Eq. (4)): drain the excess before the next
+    // request. If playback has not begun (large fixed delay), idle until it
+    // does, then drain.
+    double wait_s = 0.0;
+    if (buffer_s > buffer_capacity) {
+      if (!playing) {
+        assert(config_.startup_policy == StartupPolicy::kFixedDelay);
+        const double idle =
+            std::max(0.0, config_.fixed_startup_delay_s - source.now());
+        source.wait(idle);
+        wait_s += idle;
+        playing = true;
+        startup_delay = config_.fixed_startup_delay_s;
+      }
+      const double excess = buffer_s - buffer_capacity;
+      source.wait(excess);
+      wait_s += excess;
+      buffer_s = buffer_capacity;
+    }
+
+    record.rebuffer_s = rebuffer_s;
+    record.wait_s = wait_s;
+    record.buffer_after_s = buffer_s;
+    result.chunks.push_back(record);
+
+    qoe_acc.add_chunk(record.bitrate_kbps, rebuffer_s);
+    history_kbps.push_back(record.throughput_kbps);
+    prev_level = level;
+    has_prev = true;
+  }
+
+  // A fixed startup delay later than the whole download still counts.
+  if (!playing && config_.startup_policy == StartupPolicy::kFixedDelay) {
+    startup_delay = config_.fixed_startup_delay_s;
+  }
+
+  result.startup_delay_s = startup_delay;
+  result.session_duration_s = source.now();
+  if (config_.include_startup_in_qoe) {
+    qoe_acc.set_startup_delay(startup_delay);
+  }
+  result.total_rebuffer_s = qoe_acc.total_rebuffer_s();
+  result.qoe = qoe_acc.total();
+
+  // Aggregates.
+  double bitrate_sum = 0.0;
+  double change_sum = 0.0;
+  double wait_sum = 0.0;
+  std::size_t stalled_chunks = 0;
+  for (std::size_t k = 0; k < result.chunks.size(); ++k) {
+    const ChunkRecord& r = result.chunks[k];
+    bitrate_sum += r.bitrate_kbps;
+    wait_sum += r.wait_s;
+    if (r.rebuffer_s > 0.0) ++stalled_chunks;
+    if (k > 0) {
+      const double delta =
+          std::abs(r.bitrate_kbps - result.chunks[k - 1].bitrate_kbps);
+      change_sum += delta;
+      if (delta > 0.0) ++result.switch_count;
+    }
+  }
+  const auto n = static_cast<double>(result.chunks.size());
+  result.average_bitrate_kbps = n > 0 ? bitrate_sum / n : 0.0;
+  result.average_bitrate_change_kbps =
+      result.chunks.size() > 1 ? change_sum / (n - 1.0) : 0.0;
+  result.total_wait_s = wait_sum;
+  result.rebuffer_chunk_fraction =
+      n > 0 ? static_cast<double>(stalled_chunks) / n : 0.0;
+  return result;
+}
+
+SessionResult simulate(const trace::ThroughputTrace& trace,
+                       const media::VideoManifest& manifest,
+                       const qoe::QoeModel& qoe, const SessionConfig& config,
+                       BitrateController& controller,
+                       predict::ThroughputPredictor& predictor) {
+  TraceChunkSource source(trace, manifest);
+  PlayerSession session(manifest, qoe, config);
+  return session.run(source, controller, predictor);
+}
+
+}  // namespace abr::sim

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "predict/predictor.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/chunk_source.hpp"
+#include "sim/controller.hpp"
+
+namespace abr::sim {
+
+/// When playback is allowed to begin relative to the download process.
+enum class StartupPolicy {
+  /// Playback begins the moment the first chunk is fully downloaded. The
+  /// startup delay Ts is then the first chunk's download time. This is the
+  /// default for comparing algorithms (all see the same rule).
+  kFirstChunk,
+  /// Playback begins at a fixed time Ts regardless of buffer state; used by
+  /// the Fig. 11d sensitivity sweep (which also excludes the startup QoE
+  /// term).
+  kFixedDelay,
+  /// Playback begins once the buffer first reaches a threshold (classic
+  /// dash.js behaviour with minBufferTime).
+  kBufferThreshold,
+};
+
+/// Player-level knobs shared by simulation and network emulation.
+struct SessionConfig {
+  /// Bmax: playout buffer capacity, seconds (Section 7.1.1 uses 30 s).
+  double buffer_capacity_s = 30.0;
+
+  StartupPolicy startup_policy = StartupPolicy::kFirstChunk;
+  double fixed_startup_delay_s = 0.0;      ///< for kFixedDelay
+  double startup_buffer_threshold_s = 4.0; ///< for kBufferThreshold
+
+  /// When false, the startup-delay term is dropped from the reported QoE
+  /// (the Fig. 11d convention).
+  bool include_startup_in_qoe = true;
+};
+
+/// Per-chunk log entry, mirroring the logging our dash.js modification
+/// records (Section 6): player state, decisions, and outcomes.
+struct ChunkRecord {
+  std::size_t index = 0;
+  std::size_t level = 0;
+  double bitrate_kbps = 0.0;
+  double size_kilobits = 0.0;
+  double start_s = 0.0;            ///< time the download began
+  double download_s = 0.0;         ///< transfer duration
+  double throughput_kbps = 0.0;    ///< measured: size / duration
+  double predicted_kbps = 0.0;     ///< forecast for this chunk (0 if none)
+  double buffer_before_s = 0.0;    ///< B_k
+  double buffer_after_s = 0.0;     ///< buffer after append and any wait
+  double rebuffer_s = 0.0;         ///< stall incurred during this download
+  double wait_s = 0.0;             ///< buffer-full wait after this chunk
+};
+
+/// Complete outcome of one streaming session.
+struct SessionResult {
+  std::vector<ChunkRecord> chunks;
+  double startup_delay_s = 0.0;
+  double total_rebuffer_s = 0.0;
+  double total_wait_s = 0.0;
+  double session_duration_s = 0.0;  ///< clock time until last chunk appended
+  double qoe = 0.0;                 ///< Eq. (5) under the session's QoE model
+
+  // Derived aggregates (the Fig. 9/10 panels).
+  double average_bitrate_kbps = 0.0;
+  double average_bitrate_change_kbps = 0.0;  ///< mean |R_{k+1} - R_k|
+  std::size_t switch_count = 0;
+
+  /// Fraction of chunks with any rebuffering.
+  double rebuffer_chunk_fraction = 0.0;
+};
+
+/// The reference player: downloads chunks sequentially, makes one bitrate
+/// decision per chunk boundary, and evolves the buffer exactly per
+/// Eqs. (1)-(4) of the paper. Chunk transfers and the passage of time are
+/// delegated to a ChunkSource, so the same player drives both the
+/// virtual-time simulator and the real-network emulation.
+class PlayerSession {
+ public:
+  /// All referents must outlive the session object.
+  PlayerSession(const media::VideoManifest& manifest, const qoe::QoeModel& qoe,
+                SessionConfig config);
+
+  /// Streams the whole video once. The controller is reset() first.
+  SessionResult run(ChunkSource& source, BitrateController& controller,
+                    predict::ThroughputPredictor& predictor) const;
+
+ private:
+  const media::VideoManifest* manifest_;
+  const qoe::QoeModel* qoe_;
+  SessionConfig config_;
+};
+
+/// Convenience wrapper: simulate `controller` on `trace` (virtual time).
+SessionResult simulate(const trace::ThroughputTrace& trace,
+                       const media::VideoManifest& manifest,
+                       const qoe::QoeModel& qoe, const SessionConfig& config,
+                       BitrateController& controller,
+                       predict::ThroughputPredictor& predictor);
+
+}  // namespace abr::sim

@@ -1,0 +1,162 @@
+#include "trace/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace abr::trace {
+
+ThroughputTrace FccLikeConfig::generate(util::Rng& rng, double duration_s,
+                                        std::string name) const {
+  assert(duration_s > 0.0);
+  const double session_mean = rng.uniform(mean_lo_kbps, mean_hi_kbps);
+
+  std::vector<TraceSegment> segments;
+  const auto n = static_cast<std::size_t>(std::ceil(duration_s / interval_s));
+  segments.reserve(n);
+
+  double epoch_mean = session_mean;
+  double epoch_remaining_s = rng.exponential(epoch_mean_s);
+  double jitter = 0.0;  // AR(1) multiplicative deviation
+  const double innovation =
+      relative_jitter * std::sqrt(1.0 - ar_coefficient * ar_coefficient);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (epoch_remaining_s <= 0.0) {
+      // Level shift: a new concatenated measurement set with a related mean.
+      epoch_mean = session_mean *
+                   rng.uniform(1.0 - level_shift_range, 1.0 + level_shift_range);
+      epoch_remaining_s = rng.exponential(epoch_mean_s);
+    }
+    jitter = ar_coefficient * jitter + rng.gaussian(0.0, innovation);
+    const double rate =
+        std::max(min_rate_kbps, epoch_mean * (1.0 + jitter));
+    segments.push_back({interval_s, rate});
+    epoch_remaining_s -= interval_s;
+  }
+  return ThroughputTrace(std::move(segments), std::move(name));
+}
+
+ThroughputTrace HsdpaLikeConfig::generate(util::Rng& rng, double duration_s,
+                                          std::string name) const {
+  assert(duration_s > 0.0);
+  const double session_mean = rng.uniform(mean_lo_kbps, mean_hi_kbps);
+  const double log_mean = std::log(session_mean);
+
+  std::vector<TraceSegment> segments;
+  const auto n = static_cast<std::size_t>(std::ceil(duration_s / interval_s));
+  segments.reserve(n);
+
+  // Stationary log-AR(1): start from the stationary distribution so traces
+  // have no warm-up artifact.
+  const double stationary_sigma =
+      log_sigma / std::sqrt(1.0 - ar_coefficient * ar_coefficient);
+  double log_deviation = rng.gaussian(0.0, stationary_sigma);
+  double fade_remaining_s = 0.0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fade_remaining_s <= 0.0 && rng.uniform() < fade_probability) {
+      fade_remaining_s = rng.exponential(fade_mean_duration_s);
+    }
+    double rate;
+    if (fade_remaining_s > 0.0) {
+      rate = std::max(min_rate_kbps,
+                      fade_rate_kbps * rng.uniform(0.5, 1.5));
+      fade_remaining_s -= interval_s;
+    } else {
+      log_deviation =
+          ar_coefficient * log_deviation + rng.gaussian(0.0, log_sigma);
+      rate = std::exp(log_mean + log_deviation);
+    }
+    rate = std::clamp(rate, min_rate_kbps, max_rate_kbps);
+    segments.push_back({interval_s, rate});
+  }
+  return ThroughputTrace(std::move(segments), std::move(name));
+}
+
+ThroughputTrace MarkovConfig::generate(util::Rng& rng, double duration_s,
+                                       std::string name) const {
+  assert(duration_s > 0.0);
+  const std::size_t n_states = state_mean_kbps.size();
+  if (n_states == 0 || state_stddev_kbps.size() != n_states) {
+    throw std::invalid_argument("MarkovConfig: bad state parameters");
+  }
+  if (!transition_matrix.empty() &&
+      transition_matrix.size() != n_states * n_states) {
+    throw std::invalid_argument("MarkovConfig: bad transition matrix size");
+  }
+
+  auto transition_row = [&](std::size_t state) {
+    std::vector<double> row(n_states);
+    if (!transition_matrix.empty()) {
+      for (std::size_t j = 0; j < n_states; ++j) {
+        row[j] = transition_matrix[state * n_states + j];
+      }
+    } else if (n_states == 1) {
+      row[0] = 1.0;
+    } else {
+      const double off = (1.0 - stay_probability) /
+                         static_cast<double>(n_states - 1);
+      for (std::size_t j = 0; j < n_states; ++j) {
+        row[j] = (j == state) ? stay_probability : off;
+      }
+    }
+    return row;
+  };
+
+  std::vector<TraceSegment> segments;
+  const auto n = static_cast<std::size_t>(std::ceil(duration_s / interval_s));
+  segments.reserve(n);
+
+  auto state = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n_states) - 1));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double rate = std::max(
+        min_rate_kbps,
+        rng.gaussian(state_mean_kbps[state], state_stddev_kbps[state]));
+    segments.push_back({interval_s, rate});
+    const auto row = transition_row(state);
+    state = rng.weighted_index(row.data(), row.size());
+  }
+  return ThroughputTrace(std::move(segments), std::move(name));
+}
+
+const char* dataset_name(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kFcc:
+      return "FCC";
+    case DatasetKind::kHsdpa:
+      return "HSDPA";
+    case DatasetKind::kMarkov:
+      return "Synthetic";
+  }
+  return "?";
+}
+
+std::vector<ThroughputTrace> make_dataset(DatasetKind kind, std::size_t count,
+                                          double duration_s,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ThroughputTrace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    util::Rng trace_rng = rng.split();
+    const std::string name =
+        std::string(dataset_name(kind)) + "-" + std::to_string(i);
+    switch (kind) {
+      case DatasetKind::kFcc:
+        traces.push_back(FccLikeConfig{}.generate(trace_rng, duration_s, name));
+        break;
+      case DatasetKind::kHsdpa:
+        traces.push_back(HsdpaLikeConfig{}.generate(trace_rng, duration_s, name));
+        break;
+      case DatasetKind::kMarkov:
+        traces.push_back(MarkovConfig{}.generate(trace_rng, duration_s, name));
+        break;
+    }
+  }
+  return traces;
+}
+
+}  // namespace abr::trace

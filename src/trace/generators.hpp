@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/throughput_trace.hpp"
+#include "util/rng.hpp"
+
+namespace abr::trace {
+
+/// Synthetic stand-in for the FCC "Measuring Broadband America" dataset used
+/// in the paper (Section 7.1.1). Properties reproduced:
+///  - 5-second interval averages (the FCC reporting granularity);
+///  - session means spread over (mean_lo, mean_hi) kbps — the paper filters
+///    sessions to 0-3 Mbps;
+///  - low short-term variability (fixed-line broadband), so the harmonic-mean
+///    predictor achieves <~5 % average error;
+///  - occasional level shifts, modeling the paper's concatenation of separate
+///    measurement sets into video-length traces.
+struct FccLikeConfig {
+  double interval_s = 5.0;
+  double mean_lo_kbps = 300.0;
+  double mean_hi_kbps = 3000.0;
+  double relative_jitter = 0.06;    ///< per-interval AR(1) noise amplitude
+  double ar_coefficient = 0.6;      ///< jitter persistence
+  double epoch_mean_s = 90.0;       ///< mean epoch length between level shifts
+  double level_shift_range = 0.25;  ///< epoch mean multiplier in [1-r, 1+r]
+  double min_rate_kbps = 80.0;
+
+  ThroughputTrace generate(util::Rng& rng, double duration_s,
+                           std::string name = {}) const;
+};
+
+/// Synthetic stand-in for the Telenor 3G/HSDPA mobility dataset. Properties
+/// reproduced from the paper's characterization (Fig. 7 and Section 7.2):
+///  - 1-second samples;
+///  - high variability (stddev comparable to the mean);
+///  - heavy-tailed prediction error, with the harmonic-mean predictor
+///    over-estimating >20 % of the time and worst-case errors near 40 %;
+///  - short deep fades (driving under bridges / handovers) that produce the
+///    rebuffering events that separate RobustMPC from FastMPC.
+struct HsdpaLikeConfig {
+  double interval_s = 1.0;
+  double mean_lo_kbps = 250.0;
+  double mean_hi_kbps = 2500.0;
+  double log_sigma = 0.40;          ///< innovation stddev of log-rate AR(1)
+  double ar_coefficient = 0.94;     ///< log-rate persistence
+  double fade_probability = 0.010;  ///< per-second chance a fade starts
+  double fade_mean_duration_s = 3.0;
+  double fade_rate_kbps = 60.0;
+  double min_rate_kbps = 30.0;
+  double max_rate_kbps = 9000.0;
+
+  ThroughputTrace generate(util::Rng& rng, double duration_s,
+                           std::string name = {}) const;
+};
+
+/// The paper's own synthetic model (Section 7.1.1): a hidden Markov state
+/// S_t models the number of users sharing a bottleneck; given S_t = s the
+/// throughput is Gaussian with mean m_s and variance sigma_s^2.
+struct MarkovConfig {
+  double interval_s = 1.0;
+  /// Per-state mean throughput, kbps. Defaults model 1-4 users sharing a
+  /// ~4.2 Mbps bottleneck.
+  std::vector<double> state_mean_kbps = {4200.0, 2100.0, 1400.0, 1050.0};
+  /// Per-state throughput stddev, kbps.
+  std::vector<double> state_stddev_kbps = {300.0, 250.0, 200.0, 150.0};
+  /// Probability of staying in the current state each interval; the rest is
+  /// spread uniformly across the other states.
+  double stay_probability = 0.9;
+  /// Optional full transition matrix (row-major, n x n). If non-empty it
+  /// overrides stay_probability.
+  std::vector<double> transition_matrix;
+  double min_rate_kbps = 50.0;
+
+  ThroughputTrace generate(util::Rng& rng, double duration_s,
+                           std::string name = {}) const;
+};
+
+/// Which of the three evaluation datasets to synthesize.
+enum class DatasetKind { kFcc, kHsdpa, kMarkov };
+
+const char* dataset_name(DatasetKind kind);
+
+/// Generates `count` traces of `duration_s` seconds for the given dataset,
+/// deterministically from `seed`. This is the entry point every bench uses,
+/// so that all experiments see identical datasets for a given seed.
+std::vector<ThroughputTrace> make_dataset(DatasetKind kind, std::size_t count,
+                                          double duration_s,
+                                          std::uint64_t seed);
+
+}  // namespace abr::trace

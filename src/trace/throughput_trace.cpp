@@ -1,0 +1,137 @@
+#include "trace/throughput_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace abr::trace {
+
+ThroughputTrace::ThroughputTrace(std::vector<TraceSegment> segments,
+                                 std::string name)
+    : segments_(std::move(segments)), name_(std::move(name)) {
+  if (segments_.empty()) {
+    throw std::invalid_argument("ThroughputTrace: no segments");
+  }
+  cum_time_.reserve(segments_.size());
+  cum_kb_.reserve(segments_.size());
+  double t = 0.0;
+  double kb = 0.0;
+  for (const TraceSegment& seg : segments_) {
+    if (!(seg.duration_s > 0.0)) {
+      throw std::invalid_argument("ThroughputTrace: non-positive duration");
+    }
+    if (seg.rate_kbps < 0.0) {
+      throw std::invalid_argument("ThroughputTrace: negative rate");
+    }
+    cum_time_.push_back(t);
+    cum_kb_.push_back(kb);
+    t += seg.duration_s;
+    kb += seg.duration_s * seg.rate_kbps;
+  }
+  period_s_ = t;
+  total_kb_ = kb;
+  if (!(total_kb_ > 0.0)) {
+    throw std::invalid_argument("ThroughputTrace: zero total capacity");
+  }
+}
+
+ThroughputTrace ThroughputTrace::constant(double rate_kbps, double duration_s,
+                                          std::string name) {
+  return ThroughputTrace({{duration_s, rate_kbps}}, std::move(name));
+}
+
+double ThroughputTrace::rate_at(double t) const {
+  assert(t >= 0.0);
+  double phase = std::fmod(t, period_s_);
+  if (phase < 0.0) phase += period_s_;
+  // Last segment whose start is <= phase.
+  const auto it = std::upper_bound(cum_time_.begin(), cum_time_.end(), phase);
+  const auto index = static_cast<std::size_t>(it - cum_time_.begin()) - 1;
+  return segments_[index].rate_kbps;
+}
+
+double ThroughputTrace::kilobits_before(double u) const {
+  assert(u >= 0.0 && u <= period_s_ + 1e-9);
+  u = std::min(u, period_s_);
+  const auto it = std::upper_bound(cum_time_.begin(), cum_time_.end(), u);
+  const auto index = static_cast<std::size_t>(it - cum_time_.begin()) - 1;
+  return cum_kb_[index] + (u - cum_time_[index]) * segments_[index].rate_kbps;
+}
+
+double ThroughputTrace::time_for_kilobits(double kb) const {
+  assert(kb >= 0.0 && kb <= total_kb_ + 1e-9);
+  kb = std::min(kb, total_kb_);
+  // Last segment whose cumulative start is <= kb. Zero-rate segments have
+  // equal consecutive cum_kb_ entries; upper_bound lands after them, which
+  // correctly skips across dead air.
+  const auto it = std::upper_bound(cum_kb_.begin(), cum_kb_.end(), kb);
+  const auto index = static_cast<std::size_t>(it - cum_kb_.begin()) - 1;
+  const TraceSegment& seg = segments_[index];
+  if (seg.rate_kbps <= 0.0) {
+    // kb falls exactly on the boundary of a zero-rate segment; the transfer
+    // completes at its start.
+    return cum_time_[index];
+  }
+  return cum_time_[index] + (kb - cum_kb_[index]) / seg.rate_kbps;
+}
+
+double ThroughputTrace::kilobits_between(double t0, double t1) const {
+  assert(t1 >= t0 && t0 >= 0.0);
+  const double full_cycles = std::floor(t1 / period_s_) - std::floor(t0 / period_s_);
+  const double phase0 = t0 - std::floor(t0 / period_s_) * period_s_;
+  const double phase1 = t1 - std::floor(t1 / period_s_) * period_s_;
+  return full_cycles * total_kb_ + kilobits_before(phase1) - kilobits_before(phase0);
+}
+
+double ThroughputTrace::transfer_end_time(double kilobits, double start_s) const {
+  assert(kilobits >= 0.0 && start_s >= 0.0);
+  if (kilobits == 0.0) return start_s;
+  const double cycle_start = std::floor(start_s / period_s_) * period_s_;
+  const double phase = start_s - cycle_start;
+  double remaining = kilobits;
+  double base = cycle_start;
+
+  const double tail_kb = total_kb_ - kilobits_before(phase);
+  if (remaining <= tail_kb) {
+    return base + time_for_kilobits(kilobits_before(phase) + remaining);
+  }
+  remaining -= tail_kb;
+  base += period_s_;
+  const double cycles = std::floor(remaining / total_kb_);
+  base += cycles * period_s_;
+  remaining -= cycles * total_kb_;
+  return base + time_for_kilobits(remaining);
+}
+
+double ThroughputTrace::mean_kbps() const { return total_kb_ / period_s_; }
+
+std::vector<double> ThroughputTrace::sample(double interval_s) const {
+  assert(interval_s > 0.0);
+  std::vector<double> samples;
+  const auto n = static_cast<std::size_t>(std::ceil(period_s_ / interval_s));
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t0 = static_cast<double>(i) * interval_s;
+    const double t1 = std::min(t0 + interval_s, period_s_);
+    if (t1 <= t0) break;
+    samples.push_back(kilobits_between(t0, t1) / (t1 - t0));
+  }
+  return samples;
+}
+
+double ThroughputTrace::stddev_kbps() const {
+  const auto samples = sample(1.0);
+  return util::stddev(samples);
+}
+
+ThroughputTrace ThroughputTrace::scaled(double factor) const {
+  assert(factor > 0.0);
+  std::vector<TraceSegment> scaled_segments = segments_;
+  for (TraceSegment& seg : scaled_segments) seg.rate_kbps *= factor;
+  return ThroughputTrace(std::move(scaled_segments), name_);
+}
+
+}  // namespace abr::trace

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace abr::trace {
+
+/// One piecewise-constant throughput interval.
+struct TraceSegment {
+  double duration_s = 0.0;  ///< must be > 0
+  double rate_kbps = 0.0;   ///< must be >= 0
+
+  friend bool operator==(const TraceSegment&, const TraceSegment&) = default;
+};
+
+/// A network throughput trace C_t: piecewise-constant rate over time.
+///
+/// This is the model behind both the paper's measured datasets (FCC reports
+/// 5-second interval averages, HSDPA 1-second samples) and its synthetic
+/// dataset. The trace conceptually repeats: queries past the end wrap around,
+/// matching the paper's methodology of concatenating measurement sets "to
+/// match the length of the video".
+///
+/// The two workhorse operations are the integral of C_t (how many kilobits a
+/// link delivers in [t0, t1]) and its inverse (when a transfer of a given
+/// size finishes, Eq. (2) of the paper). Both are O(log n) via prefix sums.
+class ThroughputTrace {
+ public:
+  ThroughputTrace() = default;
+
+  /// Builds a trace from segments. Throws std::invalid_argument if empty,
+  /// if any duration is non-positive, if any rate is negative, or if the
+  /// total capacity of one period is zero (a transfer could never finish).
+  explicit ThroughputTrace(std::vector<TraceSegment> segments,
+                           std::string name = {});
+
+  /// Convenience: a single-rate trace.
+  static ThroughputTrace constant(double rate_kbps, double duration_s,
+                                  std::string name = {});
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+
+  /// Duration of one period of the trace, seconds.
+  double period_s() const { return period_s_; }
+
+  /// Instantaneous rate at absolute time t >= 0 (wraps around the period).
+  double rate_at(double t) const;
+
+  /// Kilobits delivered in [t0, t1], t1 >= t0 >= 0.
+  double kilobits_between(double t0, double t1) const;
+
+  /// Absolute time at which a transfer of `kilobits` starting at `start_s`
+  /// completes. Requires kilobits >= 0.
+  double transfer_end_time(double kilobits, double start_s) const;
+
+  /// Average rate over one period, kbps.
+  double mean_kbps() const;
+
+  /// Samples the rate every `interval_s` seconds across one period
+  /// (interval-averaged, not point-sampled). Used for the Fig. 7 dataset
+  /// characteristic CDFs.
+  std::vector<double> sample(double interval_s) const;
+
+  /// Standard deviation of 1-second interval averages over one period.
+  double stddev_kbps() const;
+
+  /// Returns a copy scaled by `factor` (>0) in rate. Used for sensitivity
+  /// sweeps that stress the same temporal pattern at different capacities.
+  ThroughputTrace scaled(double factor) const;
+
+ private:
+  /// Kilobits delivered in [0, u] within one period; u in [0, period].
+  double kilobits_before(double u) const;
+  /// Time u in [0, period] such that kilobits_before(u) == kb.
+  double time_for_kilobits(double kb) const;
+
+  std::vector<TraceSegment> segments_;
+  std::vector<double> cum_time_;  ///< cum_time_[i] = start time of segment i
+  std::vector<double> cum_kb_;    ///< cum_kb_[i] = kilobits before segment i
+  double period_s_ = 0.0;
+  double total_kb_ = 0.0;
+  std::string name_;
+};
+
+}  // namespace abr::trace

@@ -1,0 +1,62 @@
+#include "util/binning.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace abr::util {
+
+LinearBinner::LinearBinner(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins), width_((hi - lo) / static_cast<double>(bins)) {
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+std::size_t LinearBinner::bin(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return bins_ - 1;
+  const auto index = static_cast<std::size_t>((value - lo_) / width_);
+  return std::min(index, bins_ - 1);
+}
+
+double LinearBinner::center(std::size_t index) const {
+  assert(index < bins_);
+  return lo_ + (static_cast<double>(index) + 0.5) * width_;
+}
+
+double LinearBinner::lower_edge(std::size_t index) const {
+  assert(index < bins_);
+  return lo_ + static_cast<double>(index) * width_;
+}
+
+LogBinner::LogBinner(double lo, double hi, std::size_t bins)
+    : log_lo_(std::log(lo)),
+      log_hi_(std::log(hi)),
+      lo_(lo),
+      hi_(hi),
+      bins_(bins),
+      log_width_((log_hi_ - log_lo_) / static_cast<double>(bins)) {
+  assert(lo > 0.0);
+  assert(hi > lo);
+  assert(bins > 0);
+}
+
+std::size_t LogBinner::bin(double value) const {
+  if (value <= lo_) return 0;
+  if (value >= hi_) return bins_ - 1;
+  const auto index =
+      static_cast<std::size_t>((std::log(value) - log_lo_) / log_width_);
+  return std::min(index, bins_ - 1);
+}
+
+double LogBinner::center(std::size_t index) const {
+  assert(index < bins_);
+  return std::exp(log_lo_ + (static_cast<double>(index) + 0.5) * log_width_);
+}
+
+double LogBinner::lower_edge(std::size_t index) const {
+  assert(index < bins_);
+  return std::exp(log_lo_ + static_cast<double>(index) * log_width_);
+}
+
+}  // namespace abr::util

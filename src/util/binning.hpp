@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+
+namespace abr::util {
+
+/// Uniform (linear) binning of a closed interval [lo, hi] into `bins` bins.
+///
+/// FastMPC discretizes the buffer-level dimension linearly (Section 5.2):
+/// buffer occupancy is bounded by Bmax and QoE is roughly linear in it.
+/// Values outside the interval clamp to the first / last bin so that online
+/// lookups never fail.
+class LinearBinner {
+ public:
+  LinearBinner(double lo, double hi, std::size_t bins);
+
+  std::size_t bins() const { return bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Bin index for `value`, clamped to [0, bins-1].
+  std::size_t bin(double value) const;
+
+  /// Representative (center) value of bin `index`.
+  double center(std::size_t index) const;
+
+  /// Lower edge of bin `index`.
+  double lower_edge(std::size_t index) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  double width_;
+};
+
+/// Geometric (log-uniform) binning of [lo, hi], lo > 0.
+///
+/// Throughput spans orders of magnitude (tens of kbps to tens of Mbps) and
+/// bitrate decisions are sensitive to *relative* throughput error, so the
+/// FastMPC throughput dimension uses log-spaced bins: constant relative
+/// resolution with far fewer bins than a linear grid of equal worst-case
+/// relative error.
+class LogBinner {
+ public:
+  LogBinner(double lo, double hi, std::size_t bins);
+
+  std::size_t bins() const { return bins_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Bin index for `value`, clamped to [0, bins-1].
+  std::size_t bin(double value) const;
+
+  /// Representative (geometric center) value of bin `index`.
+  double center(std::size_t index) const;
+
+  /// Lower edge of bin `index`.
+  double lower_edge(std::size_t index) const;
+
+ private:
+  double log_lo_;
+  double log_hi_;
+  double lo_;
+  double hi_;
+  std::size_t bins_;
+  double log_width_;
+};
+
+}  // namespace abr::util

@@ -1,0 +1,91 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace abr::util {
+
+CsvTable CsvTable::parse(std::string_view text, bool has_header) {
+  CsvTable table;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  bool saw_header = false;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (trim(line).empty()) continue;
+
+    const auto fields = split(line, ',');
+    std::vector<std::string> row;
+    row.reserve(fields.size());
+    for (const auto field : fields) row.emplace_back(trim(field));
+
+    if (has_header && !saw_header) {
+      table.header_ = std::move(row);
+      table.columns_ = table.header_.size();
+      saw_header = true;
+      continue;
+    }
+    if (table.columns_ == 0) {
+      table.columns_ = row.size();
+    } else if (row.size() != table.columns_) {
+      throw std::invalid_argument("CSV: ragged row at line " +
+                                  std::to_string(line_number));
+    }
+    table.rows_.push_back(std::move(row));
+  }
+  return table;
+}
+
+CsvTable CsvTable::load(const std::string& path, bool has_header) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("CSV: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str(), has_header);
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::size_t col) const {
+  return rows_.at(row).at(col);
+}
+
+double CsvTable::number(std::size_t row, std::size_t col) const {
+  double value = 0.0;
+  const std::string& text = cell(row, col);
+  if (!parse_double(text, value)) {
+    throw std::invalid_argument("CSV: not a number: '" + text + "'");
+  }
+  return value;
+}
+
+std::size_t CsvTable::column_index(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  throw std::out_of_range("CSV: no column named '" + std::string(name) + "'");
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  assert(!fields.empty());
+  if (first_) {
+    columns_ = fields.size();
+    first_ = false;
+  }
+  assert(fields.size() == columns_);
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace abr::util

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace abr::util {
+
+/// A parsed CSV document: optional header row plus numeric-or-string cells.
+///
+/// Throughput trace files (FCC / HSDPA exports and our own dataset dumps)
+/// are plain CSV; this is a minimal strict reader (no quoting — trace files
+/// never need it) that reports the offending line on error.
+class CsvTable {
+ public:
+  /// Parses CSV text. If `has_header` the first row becomes the header.
+  /// Throws std::invalid_argument with a line number on ragged rows.
+  static CsvTable parse(std::string_view text, bool has_header);
+
+  /// Reads and parses a file. Throws std::runtime_error if unreadable.
+  static CsvTable load(const std::string& path, bool has_header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return columns_; }
+
+  const std::string& cell(std::size_t row, std::size_t col) const;
+
+  /// Numeric view of a cell; throws std::invalid_argument if not a number.
+  double number(std::size_t row, std::size_t col) const;
+
+  /// Index of a header column by name; throws std::out_of_range if absent.
+  std::size_t column_index(std::string_view name) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::size_t columns_ = 0;
+};
+
+/// Streaming CSV writer with fixed column count enforcement.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; all rows must have the same number of fields as the
+  /// first row written (asserted).
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace abr::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace abr::util {
+
+/// Runs fn(i) for i in [0, count) across up to `threads` worker threads
+/// (0 = hardware concurrency). Blocks until all complete. fn must be safe to
+/// call concurrently for distinct i; indices are block-partitioned so
+/// per-index work should be roughly uniform.
+///
+/// Used by the benches to fan out independent trace simulations and by the
+/// FastMPC table build.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
+  if (count == 0) return;
+  std::size_t worker_count =
+      threads > 0 ? threads : std::thread::hardware_concurrency();
+  if (worker_count == 0) worker_count = 1;
+  worker_count = worker_count < count ? worker_count : count;
+
+  if (worker_count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t per_worker = (count + worker_count - 1) / worker_count;
+  std::vector<std::thread> workers;
+  workers.reserve(worker_count);
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    const std::size_t first = w * per_worker;
+    if (first >= count) break;
+    const std::size_t last = first + per_worker < count ? first + per_worker : count;
+    workers.emplace_back([&fn, first, last] {
+      for (std::size_t i = first; i < last; ++i) fn(i);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace abr::util

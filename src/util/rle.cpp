@@ -1,0 +1,140 @@
+#include "util/rle.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+namespace abr::util {
+
+std::vector<RleRun> rle_encode(std::span<const std::uint8_t> data) {
+  std::vector<RleRun> runs;
+  for (const std::uint8_t byte : data) {
+    if (!runs.empty() && runs.back().value == byte &&
+        runs.back().length < std::numeric_limits<std::uint32_t>::max()) {
+      ++runs.back().length;
+    } else {
+      runs.push_back({byte, 1});
+    }
+  }
+  return runs;
+}
+
+std::vector<std::uint8_t> rle_decode(std::span<const RleRun> runs) {
+  std::vector<std::uint8_t> data;
+  std::size_t total = 0;
+  for (const RleRun& run : runs) total += run.length;
+  data.reserve(total);
+  for (const RleRun& run : runs) {
+    data.insert(data.end(), run.length, run.value);
+  }
+  return data;
+}
+
+RleSequence::RleSequence(std::vector<RleRun> runs) : runs_(std::move(runs)) {
+  rebuild_prefix();
+}
+
+RleSequence RleSequence::from_raw(std::span<const std::uint8_t> data) {
+  return RleSequence(rle_encode(data));
+}
+
+void RleSequence::rebuild_prefix() {
+  prefix_.resize(runs_.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    prefix_[i] = total;
+    total += runs_[i].length;
+  }
+  total_ = total;
+}
+
+std::uint8_t RleSequence::at(std::size_t i) const {
+  assert(i < total_);
+  // Last run whose starting offset is <= i.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(),
+                                   static_cast<std::uint64_t>(i));
+  const auto run_index = static_cast<std::size_t>(it - prefix_.begin()) - 1;
+  return runs_[run_index].value;
+}
+
+std::size_t RleSequence::size() const { return static_cast<std::size_t>(total_); }
+
+std::size_t RleSequence::binary_size_bytes() const {
+  return 8 + runs_.size() * 5;
+}
+
+namespace {
+
+std::size_t decimal_digits(std::uint64_t v) {
+  std::size_t digits = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++digits;
+  }
+  return digits;
+}
+
+}  // namespace
+
+std::size_t RleSequence::javascript_text_size_bytes() const {
+  // "value,length," per run: digits plus two separators.
+  std::size_t bytes = 0;
+  for (const RleRun& run : runs_) {
+    bytes += decimal_digits(run.value) + decimal_digits(run.length) + 2;
+  }
+  return bytes;
+}
+
+std::size_t RleSequence::javascript_full_table_size_bytes() const {
+  // "value," per element.
+  std::size_t bytes = 0;
+  for (const RleRun& run : runs_) {
+    bytes += (decimal_digits(run.value) + 1) * run.length;
+  }
+  return bytes;
+}
+
+std::string RleSequence::serialize() const {
+  std::string out;
+  out.reserve(binary_size_bytes());
+  const std::uint64_t count = runs_.size();
+  char header[8];
+  std::memcpy(header, &count, 8);
+  out.append(header, 8);
+  for (const RleRun& run : runs_) {
+    out.push_back(static_cast<char>(run.value));
+    char len[4];
+    std::memcpy(len, &run.length, 4);
+    out.append(len, 4);
+  }
+  return out;
+}
+
+RleSequence RleSequence::deserialize(std::string_view bytes) {
+  if (bytes.size() < 8) {
+    throw std::invalid_argument("RleSequence: truncated header");
+  }
+  std::uint64_t count = 0;
+  std::memcpy(&count, bytes.data(), 8);
+  if (bytes.size() != 8 + count * 5) {
+    throw std::invalid_argument("RleSequence: size mismatch");
+  }
+  std::vector<RleRun> runs;
+  runs.reserve(count);
+  const char* cursor = bytes.data() + 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    RleRun run;
+    run.value = static_cast<std::uint8_t>(*cursor++);
+    std::memcpy(&run.length, cursor, 4);
+    cursor += 4;
+    if (run.length == 0) {
+      throw std::invalid_argument("RleSequence: zero-length run");
+    }
+    runs.push_back(run);
+  }
+  return RleSequence(std::move(runs));
+}
+
+}  // namespace abr::util

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abr::util {
+
+/// One run of identical symbols: `length` copies of `value`.
+struct RleRun {
+  std::uint8_t value = 0;
+  std::uint32_t length = 0;
+
+  friend bool operator==(const RleRun&, const RleRun&) = default;
+};
+
+/// Lossless run-length encoding of a byte sequence.
+///
+/// This is the compression scheme Section 5.2 of the paper applies to the
+/// FastMPC decision table: optimal decisions for adjacent scenarios are
+/// usually identical, so the flattened table is dominated by long runs.
+std::vector<RleRun> rle_encode(std::span<const std::uint8_t> data);
+
+/// Inverse of rle_encode.
+std::vector<std::uint8_t> rle_decode(std::span<const RleRun> runs);
+
+/// Random access into an RLE-compressed sequence without decompressing:
+/// precomputes run prefix sums and answers `at(i)` by binary search, which is
+/// exactly how the online FastMPC lookup retrieves decisions (Section 5.2).
+class RleSequence {
+ public:
+  RleSequence() = default;
+  explicit RleSequence(std::vector<RleRun> runs);
+
+  /// Builds directly from raw data (encode + index).
+  static RleSequence from_raw(std::span<const std::uint8_t> data);
+
+  /// Element at flat index `i`. Requires i < size(). O(log #runs).
+  std::uint8_t at(std::size_t i) const;
+
+  std::size_t size() const;
+  std::size_t run_count() const { return runs_.size(); }
+  const std::vector<RleRun>& runs() const { return runs_; }
+
+  /// Bytes needed to store the runs in our binary format
+  /// (1-byte value + 4-byte length per run, plus an 8-byte count header).
+  std::size_t binary_size_bytes() const;
+
+  /// Size of the sequence rendered as JavaScript source text
+  /// ("v,l,v,l,..." decimal pairs), modeling the paper's Table 1
+  /// "extra JavaScript code size / run length coding" column.
+  std::size_t javascript_text_size_bytes() const;
+
+  /// Size of the *uncompressed* table rendered as JavaScript source text
+  /// ("v,v,v,..."), modeling Table 1's "full table" column.
+  std::size_t javascript_full_table_size_bytes() const;
+
+  /// Serializes to the binary format described above.
+  std::string serialize() const;
+  /// Parses the binary format; throws std::invalid_argument on malformed
+  /// input (truncated, bad header, zero-length run).
+  static RleSequence deserialize(std::string_view bytes);
+
+  friend bool operator==(const RleSequence& a, const RleSequence& b) {
+    return a.runs_ == b.runs_;
+  }
+
+ private:
+  void rebuild_prefix();
+
+  std::vector<RleRun> runs_;
+  std::vector<std::uint64_t> prefix_;  // prefix_[i] = elements before run i
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace abr::util

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace abr::util {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256**).
+///
+/// We deliberately avoid std::mt19937 for two reasons: (1) xoshiro256** is
+/// several times faster, which matters when generating thousands of
+/// second-granularity throughput traces, and (2) its state is tiny and the
+/// algorithm is fixed, so seeded experiment runs are reproducible across
+/// standard-library implementations (std::*_distribution is not portable).
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator via splitmix64 so that nearby seeds produce
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Samples an index in [0, weights_size) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(const double* weights, std::size_t weights_size);
+
+  /// Creates an independent generator for a subtask (jump-free stream split
+  /// via re-seeding from this stream).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace abr::util

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abr::util {
+
+/// Splits `text` on `delimiter`, keeping empty fields ("a,,b" -> 3 fields).
+std::vector<std::string_view> split(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Case-insensitive ASCII equality, for HTTP header-name comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// True if `text` starts with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parses a double; returns false on malformed or trailing-garbage input.
+bool parse_double(std::string_view text, double& out);
+
+/// Parses a non-negative integer; returns false on malformed input or
+/// overflow.
+bool parse_size(std::string_view text, std::size_t& out);
+
+/// Lowercases an ASCII string.
+std::string to_lower(std::string_view text);
+
+/// Formats a double with fixed precision (helper for table printing).
+std::string format_fixed(double value, int precision);
+
+}  // namespace abr::util

@@ -1,0 +1,250 @@
+#include "util/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace abr::util {
+
+const std::string* XmlElement::attribute(std::string_view attr_name) const {
+  for (const auto& [name_, value] : attributes) {
+    if (name_ == attr_name) return &value;
+  }
+  return nullptr;
+}
+
+const XmlElement* XmlElement::child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c->name == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(
+    std::string_view tag) const {
+  std::vector<const XmlElement*> result;
+  for (const auto& c : children) {
+    if (c->name == tag) result.push_back(c.get());
+  }
+  return result;
+}
+
+std::string xml_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string XmlElement::serialize(int indent) const {
+  std::ostringstream out;
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  out << pad << '<' << name;
+  for (const auto& [attr, value] : attributes) {
+    out << ' ' << attr << "=\"" << xml_escape(value) << '"';
+  }
+  if (children.empty() && text.empty()) {
+    out << "/>\n";
+    return out.str();
+  }
+  out << '>';
+  if (!text.empty()) out << xml_escape(text);
+  if (!children.empty()) {
+    out << '\n';
+    for (const auto& c : children) out << c->serialize(indent + 1);
+    out << pad;
+  }
+  out << "</" << name << ">\n";
+  return out.str();
+}
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view text) : text_(text) {}
+
+  std::unique_ptr<XmlElement> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    skip_whitespace_and_comments();
+    if (pos_ != text_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("XML parse error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+
+  bool consume(std::string_view token) {
+    if (text_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void skip_comment() {
+    // Called after "<!--" has been consumed.
+    const std::size_t end = text_.find("-->", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (true) {
+      skip_whitespace();
+      if (consume("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (consume("<?xml")) {
+      const std::size_t end = text_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_whitespace_and_comments();
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+          c == ':' || c == '.') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a name");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    std::size_t i = 0;
+    while (i < raw.size()) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const std::size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out.push_back('&');
+      else if (entity == "lt") out.push_back('<');
+      else if (entity == "gt") out.push_back('>');
+      else if (entity == "quot") out.push_back('"');
+      else if (entity == "apos") out.push_back('\'');
+      else fail("unknown entity '" + std::string(entity) + "'");
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    ++pos_;
+    const std::size_t start = pos_;
+    while (!eof() && text_[pos_] != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    const std::string value = decode_entities(text_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<XmlElement> parse_element() {
+    if (!consume("<")) fail("expected '<'");
+    auto element = std::make_unique<XmlElement>();
+    element->name = parse_name();
+
+    while (true) {
+      skip_whitespace();
+      if (consume("/>")) return element;
+      if (consume(">")) break;
+      const std::string attr = parse_name();
+      skip_whitespace();
+      if (!consume("=")) fail("expected '=' after attribute name");
+      skip_whitespace();
+      element->attributes.emplace_back(attr, parse_attribute_value());
+    }
+
+    // Content: text, children, comments, then closing tag.
+    while (true) {
+      const std::size_t text_start = pos_;
+      while (!eof() && text_[pos_] != '<') ++pos_;
+      if (eof()) fail("unterminated element <" + element->name + ">");
+      if (pos_ > text_start) {
+        const std::string chunk =
+            decode_entities(text_.substr(text_start, pos_ - text_start));
+        // Keep only non-whitespace character data.
+        const std::string_view trimmed = trim_view(chunk);
+        if (!trimmed.empty()) element->text.append(trimmed);
+      }
+      if (consume("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "</") {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != element->name) {
+          fail("mismatched closing tag </" + closing + "> for <" +
+               element->name + ">");
+        }
+        skip_whitespace();
+        if (!consume(">")) fail("expected '>' in closing tag");
+        return element;
+      }
+      element->children.push_back(parse_element());
+    }
+  }
+
+  static std::string_view trim_view(std::string_view s) {
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+    return s.substr(b, e - b);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<XmlElement> xml_parse(std::string_view text) {
+  return XmlParser(text).parse_document();
+}
+
+}  // namespace abr::util

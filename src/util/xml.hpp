@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abr::util {
+
+/// Minimal XML element tree.
+///
+/// Supports the subset needed for DASH MPD manifests: nested elements,
+/// attributes, text content, comments, and XML declarations. Not supported
+/// (and rejected where ambiguous): DTDs, CDATA, processing instructions
+/// other than the declaration, and entity definitions beyond the five
+/// predefined ones.
+struct XmlElement {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;  ///< concatenated character data directly inside this tag
+
+  /// First attribute value by name, or nullptr.
+  const std::string* attribute(std::string_view attr_name) const;
+
+  /// First child element by tag name, or nullptr.
+  const XmlElement* child(std::string_view tag) const;
+
+  /// All child elements with the given tag name.
+  std::vector<const XmlElement*> children_named(std::string_view tag) const;
+
+  /// Serializes this element (recursively) with 2-space indentation.
+  std::string serialize(int indent = 0) const;
+};
+
+/// Parses an XML document and returns its root element.
+/// Throws std::invalid_argument with a byte offset on malformed input.
+std::unique_ptr<XmlElement> xml_parse(std::string_view text);
+
+/// Escapes &, <, >, ", ' for use in attribute values / text.
+std::string xml_escape(std::string_view text);
+
+}  // namespace abr::util

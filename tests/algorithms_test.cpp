@@ -1,0 +1,119 @@
+#include "core/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+TEST(Algorithms, NamesAreStable) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kRateBased), "RB");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBufferBased), "BB");
+  EXPECT_STREQ(algorithm_name(Algorithm::kFastMpc), "FastMPC");
+  EXPECT_STREQ(algorithm_name(Algorithm::kRobustMpc), "RobustMPC");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMpc), "MPC");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMpcOpt), "MPC-OPT");
+  EXPECT_STREQ(algorithm_name(Algorithm::kDashJs), "dash.js");
+  EXPECT_STREQ(algorithm_name(Algorithm::kFestive), "FESTIVE");
+}
+
+TEST(Algorithms, AllAlgorithmsListsPaperComparison) {
+  const auto all = all_algorithms();
+  EXPECT_EQ(all.size(), 6u);  // the six lines in Fig. 8
+}
+
+TEST(Algorithms, FactoryProducesMatchingControllerNames) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  AlgorithmOptions options;
+  options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
+  for (const Algorithm algorithm :
+       {Algorithm::kRateBased, Algorithm::kBufferBased, Algorithm::kFastMpc,
+        Algorithm::kRobustMpc, Algorithm::kMpc, Algorithm::kDashJs,
+        Algorithm::kFestive}) {
+    const auto instance = make_algorithm(algorithm, manifest, qoe, options);
+    ASSERT_NE(instance.controller, nullptr);
+    ASSERT_NE(instance.predictor, nullptr);
+    EXPECT_EQ(instance.controller->name(), algorithm_name(algorithm));
+  }
+}
+
+TEST(Algorithms, MpcOptUsesPerfectPredictor) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const auto instance = make_algorithm(Algorithm::kMpcOpt, manifest, qoe);
+  EXPECT_EQ(instance.predictor->name(), "perfect");
+  EXPECT_EQ(instance.controller->name(), "MPC");
+}
+
+TEST(Algorithms, DefaultPredictorIsHarmonicMean5) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const auto instance = make_algorithm(Algorithm::kRateBased, manifest, qoe);
+  EXPECT_EQ(instance.predictor->name(), "harmonic-mean-5");
+}
+
+TEST(Algorithms, EveryAlgorithmCompletesASession) {
+  util::Rng rng(13);
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const auto trace = trace::MarkovConfig{}.generate(rng, 320.0);
+  AlgorithmOptions options;
+  options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
+  for (const Algorithm algorithm : all_algorithms()) {
+    auto instance = make_algorithm(algorithm, manifest, qoe, options);
+    const auto result = sim::simulate(trace, manifest, qoe, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    ASSERT_EQ(result.chunks.size(), manifest.chunk_count())
+        << algorithm_name(algorithm);
+    ASSERT_GE(result.average_bitrate_kbps, 350.0);
+    ASSERT_LE(result.average_bitrate_kbps, 3000.0);
+  }
+}
+
+TEST(Algorithms, ControllersAreReusableAcrossSessions) {
+  util::Rng rng(14);
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  auto instance = make_algorithm(Algorithm::kRobustMpc, manifest, qoe);
+  const auto trace_a = trace::HsdpaLikeConfig{}.generate(rng, 320.0);
+  const auto first = sim::simulate(trace_a, manifest, qoe, {},
+                                   *instance.controller, *instance.predictor);
+  // Re-running the same trace must reproduce the same result exactly: the
+  // player resets the controller, so no state leaks across sessions.
+  const auto second = sim::simulate(trace_a, manifest, qoe, {},
+                                    *instance.controller, *instance.predictor);
+  ASSERT_EQ(first.chunks.size(), second.chunks.size());
+  for (std::size_t k = 0; k < first.chunks.size(); ++k) {
+    ASSERT_EQ(first.chunks[k].level, second.chunks[k].level) << "chunk " << k;
+  }
+  EXPECT_DOUBLE_EQ(first.qoe, second.qoe);
+}
+
+TEST(Algorithms, FastMpcReusesProvidedTable) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  AlgorithmOptions options;
+  options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
+  // Building with a shared table must not rebuild (cheap construction).
+  const auto instance = make_algorithm(Algorithm::kFastMpc, manifest, qoe,
+                                       options);
+  EXPECT_EQ(instance.controller->prediction_horizon(), 5u);
+}
+
+TEST(Algorithms, MpcHorizonOptionPropagates) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  AlgorithmOptions options;
+  options.mpc_horizon = 3;
+  const auto instance = make_algorithm(Algorithm::kMpc, manifest, qoe, options);
+  EXPECT_EQ(instance.controller->prediction_horizon(), 3u);
+}
+
+}  // namespace
+}  // namespace abr::core

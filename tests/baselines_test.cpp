@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/buffer_based.hpp"
+#include "core/dashjs_rules.hpp"
+#include "core/festive.hpp"
+#include "core/rate_based.hpp"
+#include "test_helpers.hpp"
+
+namespace abr::core {
+namespace {
+
+sim::AbrState state_with(double buffer, std::size_t prev, bool has_prev,
+                         std::span<const double> history,
+                         std::span<const double> prediction,
+                         bool playing = true) {
+  sim::AbrState state;
+  state.chunk_index = has_prev ? 1 : 0;
+  state.buffer_s = buffer;
+  state.prev_level = prev;
+  state.has_prev = has_prev;
+  state.throughput_history_kbps = history;
+  state.prediction_kbps = prediction;
+  state.playback_started = playing;
+  return state;
+}
+
+// ---------------------------------------------------------------- RB ------
+
+TEST(RateBased, PicksMaxBitrateUnderPrediction) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  RateBasedController rb;
+  const std::vector<double> history = {1100.0};
+  const std::vector<double> prediction = {1100.0};
+  EXPECT_EQ(rb.decide(state_with(10.0, 0, true, history, prediction), manifest),
+            2u);  // 1000 kbps
+}
+
+TEST(RateBased, NoForecastStartsLowest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  RateBasedController rb;
+  const std::vector<double> none;
+  EXPECT_EQ(rb.decide(state_with(10.0, 0, false, none, none), manifest), 0u);
+}
+
+TEST(RateBased, IgnoresBufferLevel) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  RateBasedController rb;
+  const std::vector<double> history = {2100.0};
+  const std::vector<double> prediction = {2100.0};
+  const auto low = rb.decide(state_with(0.5, 0, true, history, prediction),
+                             manifest);
+  const auto high = rb.decide(state_with(29.0, 0, true, history, prediction),
+                              manifest);
+  EXPECT_EQ(low, high);
+  EXPECT_EQ(low, 3u);  // 2000 kbps
+}
+
+TEST(RateBased, SafetyFactorScalesTarget) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  RateBasedController conservative(0.5);
+  const std::vector<double> history = {2100.0};
+  const std::vector<double> prediction = {2100.0};
+  EXPECT_EQ(conservative.decide(
+                state_with(10.0, 0, true, history, prediction), manifest),
+            2u);  // 0.5 * 2100 = 1050 -> 1000 kbps
+}
+
+/// Parameterized sweep: RB's decision equals highest_level_not_above for a
+/// range of forecasts.
+class RateBasedSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateBasedSweep, MatchesLadderLookup) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  RateBasedController rb;
+  const std::vector<double> history = {GetParam()};
+  const std::vector<double> prediction = {GetParam()};
+  EXPECT_EQ(rb.decide(state_with(10.0, 0, true, history, prediction), manifest),
+            manifest.highest_level_not_above(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Forecasts, RateBasedSweep,
+                         ::testing::Values(100.0, 350.0, 599.0, 600.0, 999.0,
+                                           1500.0, 2500.0, 3000.0, 9000.0));
+
+// ---------------------------------------------------------------- BB ------
+
+TEST(BufferBased, ReservoirForcesLowest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  BufferBasedController bb(5.0, 10.0);
+  const std::vector<double> none;
+  EXPECT_EQ(bb.decide(state_with(0.0, 3, true, none, none), manifest), 0u);
+  EXPECT_EQ(bb.decide(state_with(5.0, 3, true, none, none), manifest), 0u);
+}
+
+TEST(BufferBased, AboveCushionPicksHighest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  BufferBasedController bb(5.0, 10.0);
+  const std::vector<double> none;
+  EXPECT_EQ(bb.decide(state_with(15.0, 0, true, none, none), manifest), 4u);
+  EXPECT_EQ(bb.decide(state_with(30.0, 0, true, none, none), manifest), 4u);
+}
+
+TEST(BufferBased, LinearRampBetween) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  BufferBasedController bb(5.0, 10.0);
+  // f(10) = 350 + 0.5 * (3000 - 350) = 1675 -> level 2 (1000 kbps).
+  EXPECT_NEAR(bb.rate_map_kbps(10.0, manifest), 1675.0, 1e-9);
+  const std::vector<double> none;
+  EXPECT_EQ(bb.decide(state_with(10.0, 4, true, none, none), manifest), 2u);
+}
+
+TEST(BufferBased, RateMapIsMonotoneInBuffer) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  BufferBasedController bb(5.0, 10.0);
+  double prev = 0.0;
+  for (double b = 0.0; b <= 30.0; b += 0.25) {
+    const double rate = bb.rate_map_kbps(b, manifest);
+    ASSERT_GE(rate, prev);
+    prev = rate;
+  }
+}
+
+TEST(BufferBased, IgnoresThroughput) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  BufferBasedController bb(5.0, 10.0);
+  const std::vector<double> slow = {100.0};
+  const std::vector<double> fast = {9000.0};
+  EXPECT_EQ(bb.decide(state_with(12.0, 1, true, slow, slow), manifest),
+            bb.decide(state_with(12.0, 1, true, fast, fast), manifest));
+}
+
+// ------------------------------------------------------------- FESTIVE ----
+
+TEST(Festive, StartsLowest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  FestiveController festive;
+  const std::vector<double> none;
+  EXPECT_EQ(festive.decide(state_with(0.0, 0, false, none, none), manifest),
+            0u);
+}
+
+TEST(Festive, StepsUpOneLevelAtATime) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  FestiveController festive;
+  festive.reset();
+  const std::vector<double> history = {9000.0};
+  const std::vector<double> prediction = {9000.0};
+  // Even with huge headroom, the first move from level 0 is to level 1.
+  std::size_t level = 0;
+  for (int k = 1; k < 12; ++k) {
+    const auto next = festive.decide(
+        state_with(20.0, level, true, history, prediction), manifest);
+    EXPECT_LE(next, level + 1) << "jumped more than one level at chunk " << k;
+    level = next;
+  }
+  EXPECT_GT(level, 0u);  // eventually climbs
+}
+
+TEST(Festive, SwitchUpRequiresDwellTime) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  FestiveController festive;
+  festive.reset();
+  const std::vector<double> history = {9000.0};
+  const std::vector<double> prediction = {9000.0};
+  // First decision after start: chunks_at_current = 0 < 1, cannot go up yet.
+  const auto first = festive.decide(
+      state_with(20.0, 0, true, history, prediction), manifest);
+  EXPECT_EQ(first, 0u);
+  // After dwelling one chunk, the move to level 1 is allowed.
+  const auto second = festive.decide(
+      state_with(20.0, 0, true, history, prediction), manifest);
+  EXPECT_EQ(second, 1u);
+}
+
+TEST(Festive, DownSwitchIsImmediate) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  FestiveController festive;
+  festive.reset();
+  const std::vector<double> history = {300.0};
+  const std::vector<double> prediction = {300.0};
+  const auto level = festive.decide(
+      state_with(20.0, 3, true, history, prediction), manifest);
+  EXPECT_EQ(level, 2u);  // one step down, no dwell requirement
+}
+
+TEST(Festive, ManySwitchesRaiseStabilityScoreAndHold) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  FestiveController festive;
+  festive.reset();
+  // Alternate the throughput so the reference level flips; after a few
+  // forced switches the stability score (2^switches) should make FESTIVE
+  // hold rather than chase every flip.
+  std::size_t level = 0;
+  std::size_t switches = 0;
+  for (int k = 1; k <= 20; ++k) {
+    const double c = (k % 2 == 0) ? 3500.0 : 700.0;
+    const std::vector<double> history = {c};
+    const std::vector<double> prediction = {c};
+    const auto next = festive.decide(
+        state_with(20.0, level, true, history, prediction), manifest);
+    if (next != level) ++switches;
+    level = next;
+  }
+  EXPECT_LT(switches, 10u);  // far fewer than the 19 flips offered
+}
+
+// ------------------------------------------------------------- dash.js ----
+
+TEST(DashJsRules, FirstChunkLowest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  const std::vector<double> none;
+  EXPECT_EQ(rules.decide(state_with(0.0, 0, false, none, none, false),
+                         manifest),
+            0u);
+}
+
+TEST(DashJsRules, BadDownloadRatioStepsDown) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  // Previous chunk at 2000 kbps measured only 900 kbps: ratio 0.45 ->
+  // sustainable 900 -> level 1 (600 kbps).
+  const std::vector<double> history = {900.0};
+  const std::vector<double> prediction = {900.0};
+  EXPECT_EQ(rules.decide(state_with(20.0, 3, true, history, prediction),
+                         manifest),
+            1u);
+}
+
+TEST(DashJsRules, GoodRatioJumpsToSustainableLevel) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  // At level 1 (600) with measured 2000 kbps the v1.2 ratio rule jumps
+  // straight to the sustainable level 3 (2000 kbps) — no smoothing.
+  const std::vector<double> history = {2000.0};
+  const std::vector<double> prediction = {2000.0};
+  EXPECT_EQ(rules.decide(state_with(20.0, 1, true, history, prediction),
+                         manifest),
+            3u);
+}
+
+TEST(DashJsRules, LowBufferForcesLowest) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  const std::vector<double> history = {5000.0};
+  const std::vector<double> prediction = {5000.0};
+  EXPECT_EQ(rules.decide(state_with(2.0, 3, true, history, prediction),
+                         manifest),
+            0u);
+}
+
+TEST(DashJsRules, StallHoldoffForbidsUpswitch) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  const std::vector<double> history = {5000.0};
+  const std::vector<double> prediction = {5000.0};
+  // Prime the controller, then present a stalled (empty) buffer.
+  rules.decide(state_with(10.0, 2, true, history, prediction), manifest);
+  rules.decide(state_with(0.0, 2, true, history, prediction), manifest);
+  // Buffer recovered above the low-water mark, but the holdoff still blocks
+  // the up-switch the download ratio would otherwise grant.
+  const auto level = rules.decide(
+      state_with(9.0, 2, true, history, prediction), manifest);
+  EXPECT_EQ(level, 2u);
+}
+
+TEST(DashJsRules, OscillatesOnAlternatingThroughput) {
+  // The behaviour the paper observes in Section 7.2: the unsmoothed ratio
+  // rule switches on every throughput flip.
+  const auto manifest = media::VideoManifest::envivio_default();
+  DashJsRulesController rules;
+  rules.reset();
+  std::size_t level = 2;
+  std::size_t switches = 0;
+  for (int k = 1; k <= 20; ++k) {
+    const double c = (k % 2 == 0) ? 2600.0 : 700.0;
+    const std::vector<double> history = {c};
+    const std::vector<double> prediction = {c};
+    const auto next =
+        rules.decide(state_with(20.0, level, true, history, prediction),
+                     manifest);
+    if (next != level) ++switches;
+    level = next;
+  }
+  EXPECT_GE(switches, 10u);
+}
+
+}  // namespace
+}  // namespace abr::core

@@ -1,0 +1,214 @@
+#include "core/fastmpc_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/horizon_solver.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+FastMpcConfig small_config() {
+  FastMpcConfig config;
+  config.buffer_bins = 12;
+  config.throughput_bins = 16;
+  config.horizon = 3;
+  config.threads = 2;
+  return config;
+}
+
+TEST(FastMpcTable, BuildValidatesConfig) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  FastMpcConfig zero = small_config();
+  zero.buffer_bins = 0;
+  EXPECT_THROW(FastMpcTable::build(manifest, qoe, zero), std::invalid_argument);
+}
+
+TEST(FastMpcTable, CellCountMatchesDimensions) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  EXPECT_EQ(table.cell_count(), 12u * 3u * 16u);
+  EXPECT_EQ(table.full_table_bytes(), table.cell_count());
+  EXPECT_EQ(table.level_count(), 3u);
+}
+
+/// The defining property of FastMPC (Section 5.1): a lookup at a bin-center
+/// scenario returns exactly the decision the online MPC solver would make.
+TEST(FastMpcTable, LookupMatchesExactSolveAtBinCenters) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const FastMpcConfig config = small_config();
+  const auto table = FastMpcTable::build(manifest, qoe, config);
+
+  const media::VideoManifest generic = media::VideoManifest::cbr(
+      config.horizon, manifest.chunk_duration_s(), manifest.bitrates_kbps());
+  HorizonSolver solver(generic, qoe);
+  const util::LinearBinner buffer_binner(0.0, config.buffer_capacity_s,
+                                         config.buffer_bins);
+  const util::LogBinner throughput_binner(config.throughput_lo_kbps,
+                                          config.throughput_hi_kbps,
+                                          config.throughput_bins);
+
+  util::Rng rng(91);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto b = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(config.buffer_bins) - 1));
+    const auto prev = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const auto c = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(config.throughput_bins) - 1));
+
+    const std::vector<double> forecast(config.horizon,
+                                       throughput_binner.center(c));
+    HorizonProblem problem;
+    problem.buffer_s = buffer_binner.center(b);
+    problem.prev_level = prev;
+    problem.has_prev = true;
+    problem.predicted_kbps = forecast;
+    problem.buffer_capacity_s = config.buffer_capacity_s;
+
+    ASSERT_EQ(table.lookup(buffer_binner.center(b), prev,
+                           throughput_binner.center(c)),
+              solver.solve(problem).levels.front());
+  }
+}
+
+TEST(FastMpcTable, LookupClampsOutOfRangeQueries) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  // Extreme queries must not crash and must return valid levels.
+  EXPECT_LT(table.lookup(-5.0, 0, 1.0), 3u);
+  EXPECT_LT(table.lookup(1e6, 2, 1e9), 3u);
+}
+
+TEST(FastMpcTable, HighThroughputHighBufferPicksTop) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  EXPECT_EQ(table.lookup(28.0, 2, 8000.0), 2u);
+  EXPECT_EQ(table.lookup(1.0, 0, 60.0), 0u);
+}
+
+TEST(FastMpcTable, DecisionsMonotoneInThroughputAtFixedBuffer) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  for (std::size_t prev = 0; prev < 3; ++prev) {
+    std::size_t previous_level = 0;
+    for (double c = 60.0; c < 9000.0; c *= 1.3) {
+      const std::size_t level = table.lookup(20.0, prev, c);
+      ASSERT_GE(level, previous_level)
+          << "non-monotone at c=" << c << " prev=" << prev;
+      previous_level = level;
+    }
+  }
+}
+
+TEST(FastMpcTable, SerializeRoundTrip) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  const FastMpcTable restored = FastMpcTable::deserialize(table.serialize());
+  EXPECT_TRUE(table == restored);
+  EXPECT_EQ(restored.lookup(12.0, 1, 900.0), table.lookup(12.0, 1, 900.0));
+}
+
+TEST(FastMpcTable, FileRoundTrip) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  const auto path =
+      std::filesystem::temp_directory_path() / "abr_fastmpc_test.bin";
+  table.save(path.string());
+  const FastMpcTable loaded = FastMpcTable::load(path.string());
+  EXPECT_TRUE(table == loaded);
+  std::filesystem::remove(path);
+}
+
+TEST(FastMpcTable, DeserializeRejectsGarbage) {
+  EXPECT_THROW(FastMpcTable::deserialize(""), std::invalid_argument);
+  EXPECT_THROW(FastMpcTable::deserialize("NOTMAGIC........."),
+               std::invalid_argument);
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto table = FastMpcTable::build(manifest, qoe, small_config());
+  std::string bytes = table.serialize();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(FastMpcTable::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(FastMpcTable, RleCompressesRealTables) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  FastMpcConfig config;
+  config.buffer_bins = 30;
+  config.throughput_bins = 30;
+  config.horizon = 3;
+  const auto table = FastMpcTable::build(manifest, qoe, config);
+  // Adjacent scenarios share decisions, so RLE must beat the full table
+  // (this is the Section 5.2 compression claim).
+  EXPECT_LT(table.rle_binary_bytes(), table.full_table_bytes());
+  EXPECT_LT(table.js_rle_bytes(), table.js_full_bytes());
+  EXPECT_GT(table.run_count(), 0u);
+}
+
+TEST(FastMpcController, RequiresTable) {
+  EXPECT_THROW(FastMpcController(nullptr), std::invalid_argument);
+}
+
+TEST(FastMpcController, DecisionsComeFromTable) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  auto table = std::make_shared<const FastMpcTable>(
+      FastMpcTable::build(manifest, qoe, small_config()));
+  FastMpcController controller(table);
+  EXPECT_EQ(controller.prediction_horizon(), 3u);
+
+  sim::AbrState state;
+  state.chunk_index = 2;
+  state.buffer_s = 14.0;
+  state.prev_level = 1;
+  state.has_prev = true;
+  const std::vector<double> prediction(3, 900.0);
+  state.prediction_kbps = prediction;
+  EXPECT_EQ(controller.decide(state, manifest), table->lookup(14.0, 1, 900.0));
+
+  // No forecast: lowest level.
+  const std::vector<double> none;
+  state.prediction_kbps = none;
+  EXPECT_EQ(controller.decide(state, manifest), 0u);
+}
+
+TEST(FastMpcController, RejectsMismatchedManifest) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  auto table = std::make_shared<const FastMpcTable>(
+      FastMpcTable::build(manifest, qoe, small_config()));
+  FastMpcController controller(table);
+  const auto other = media::VideoManifest::envivio_default();  // 5 levels
+  sim::AbrState state;
+  const std::vector<double> prediction(3, 900.0);
+  state.prediction_kbps = prediction;
+  EXPECT_THROW(controller.decide(state, other), std::logic_error);
+}
+
+TEST(FastMpcTable, SingleThreadAndMultiThreadBuildsAgree) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  FastMpcConfig sequential = small_config();
+  sequential.threads = 1;
+  FastMpcConfig parallel = small_config();
+  parallel.threads = 4;
+  const auto a = FastMpcTable::build(manifest, qoe, sequential);
+  const auto b = FastMpcTable::build(manifest, qoe, parallel);
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace abr::core

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/algorithms.hpp"
+#include "core/offline_optimal.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/stats.hpp"
+
+namespace abr {
+namespace {
+
+/// End-to-end checks of the paper's headline *qualitative* claims on small
+/// synthetic datasets (the bench binaries reproduce the full figures; these
+/// tests pin the directional results so regressions are caught in CI).
+class PaperClaims : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kTraces = 24;
+
+  struct AlgorithmStats {
+    util::RunningStats qoe;
+    util::RunningStats rebuffer;
+    util::RunningStats bitrate;
+    util::RunningStats switches;
+  };
+
+  static AlgorithmStats run_dataset(core::Algorithm algorithm,
+                                    trace::DatasetKind kind) {
+    const auto manifest = media::VideoManifest::envivio_default();
+    const auto qoe = testing::balanced_qoe();
+    static const auto table =
+        core::default_fastmpc_table(manifest, qoe, 30.0);
+    core::AlgorithmOptions options;
+    options.fastmpc_table = table;
+    auto instance = core::make_algorithm(algorithm, manifest, qoe, options);
+
+    const auto traces = trace::make_dataset(kind, kTraces, 320.0, 4242);
+    AlgorithmStats stats;
+    for (const auto& trace : traces) {
+      const auto result = sim::simulate(trace, manifest, qoe, {},
+                                        *instance.controller,
+                                        *instance.predictor);
+      stats.qoe.add(result.qoe);
+      stats.rebuffer.add(result.total_rebuffer_s);
+      stats.bitrate.add(result.average_bitrate_kbps);
+      stats.switches.add(static_cast<double>(result.switch_count));
+    }
+    return stats;
+  }
+};
+
+TEST_F(PaperClaims, RobustMpcBeatsBaselinesOnStableNetwork) {
+  const auto robust = run_dataset(core::Algorithm::kRobustMpc,
+                                  trace::DatasetKind::kFcc);
+  const auto rb = run_dataset(core::Algorithm::kRateBased,
+                              trace::DatasetKind::kFcc);
+  const auto dashjs = run_dataset(core::Algorithm::kDashJs,
+                                  trace::DatasetKind::kFcc);
+  EXPECT_GT(robust.qoe.mean(), rb.qoe.mean());
+  EXPECT_GT(robust.qoe.mean(), dashjs.qoe.mean());
+}
+
+TEST_F(PaperClaims, RobustMpcBeatsFastMpcOnVolatileNetwork) {
+  // Section 7.2: on HSDPA, plain FastMPC suffers rebuffering from
+  // overestimated throughput; RobustMPC avoids it.
+  const auto robust = run_dataset(core::Algorithm::kRobustMpc,
+                                  trace::DatasetKind::kHsdpa);
+  const auto fast = run_dataset(core::Algorithm::kFastMpc,
+                                trace::DatasetKind::kHsdpa);
+  EXPECT_LT(robust.rebuffer.mean(), fast.rebuffer.mean());
+  EXPECT_GT(robust.qoe.mean(), fast.qoe.mean());
+}
+
+TEST_F(PaperClaims, DashJsSwitchesFarMoreThanMpc) {
+  const auto dashjs = run_dataset(core::Algorithm::kDashJs,
+                                  trace::DatasetKind::kHsdpa);
+  const auto robust = run_dataset(core::Algorithm::kRobustMpc,
+                                  trace::DatasetKind::kHsdpa);
+  EXPECT_GT(dashjs.switches.mean(), robust.switches.mean() * 1.5);
+}
+
+TEST_F(PaperClaims, BufferBasedIsThroughputBlind) {
+  // Eq. (14): BB uses only the buffer signal, so its decisions (and hence
+  // the whole session) are identical under any predictor.
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  auto instance =
+      core::make_algorithm(core::Algorithm::kBufferBased, manifest, qoe);
+  predict::PerfectPredictor perfect;
+  const auto traces =
+      trace::make_dataset(trace::DatasetKind::kHsdpa, 5, 320.0, 31);
+  for (const auto& trace : traces) {
+    const auto with_harmonic = sim::simulate(trace, manifest, qoe, {},
+                                             *instance.controller,
+                                             *instance.predictor);
+    const auto with_perfect = sim::simulate(trace, manifest, qoe, {},
+                                            *instance.controller, perfect);
+    ASSERT_EQ(with_harmonic.chunks.size(), with_perfect.chunks.size());
+    for (std::size_t k = 0; k < with_harmonic.chunks.size(); ++k) {
+      ASSERT_EQ(with_harmonic.chunks[k].level, with_perfect.chunks[k].level);
+    }
+    ASSERT_DOUBLE_EQ(with_harmonic.qoe, with_perfect.qoe);
+  }
+}
+
+TEST_F(PaperClaims, NormalizedQoeInSaneRange) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const core::OfflineOptimalPlanner planner(manifest, qoe, {}, {});
+  core::AlgorithmOptions options;
+  options.fastmpc_table = core::default_fastmpc_table(manifest, qoe, 30.0);
+  auto instance =
+      core::make_algorithm(core::Algorithm::kRobustMpc, manifest, qoe, options);
+
+  const auto traces = trace::make_dataset(trace::DatasetKind::kFcc, 8, 320.0, 7);
+  std::size_t usable = 0;
+  for (const auto& trace : traces) {
+    const double optimal = planner.plan(trace).qoe;
+    // A small tail of FCC traces sits below the 350 kbps ladder floor and is
+    // unplayable even offline (the paper's 1% negative-QoE tail); skip those
+    // the way the n-QoE analysis does.
+    if (optimal <= 0.0) continue;
+    ++usable;
+    const auto result = sim::simulate(trace, manifest, qoe, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    const double n_qoe = core::normalized_qoe(result.qoe, optimal);
+    ASSERT_LE(n_qoe, 1.0 + 1e-9);
+    ASSERT_GT(n_qoe, -1.0);  // catastrophic sessions would signal a bug
+  }
+  EXPECT_GE(usable, 5u);
+}
+
+TEST_F(PaperClaims, MpcOptDominatesHarmonicMeanMpcOnAverage) {
+  // Perfect 5-chunk foresight must not hurt (Fig. 11a at error -> 0).
+  const auto opt = run_dataset(core::Algorithm::kMpcOpt,
+                               trace::DatasetKind::kHsdpa);
+  const auto mpc = run_dataset(core::Algorithm::kMpc,
+                               trace::DatasetKind::kHsdpa);
+  EXPECT_GE(opt.qoe.mean(), mpc.qoe.mean());
+}
+
+TEST_F(PaperClaims, VbrVideoSessionsComplete) {
+  util::Rng rng(5);
+  const auto manifest = media::VideoManifest::vbr(
+      65, 4.0, {350.0, 600.0, 1000.0, 2000.0, 3000.0}, 0.3, rng, "vbr");
+  const auto qoe = testing::balanced_qoe();
+  auto instance = core::make_algorithm(core::Algorithm::kRobustMpc, manifest,
+                                       qoe);
+  const auto traces =
+      trace::make_dataset(trace::DatasetKind::kMarkov, 4, 320.0, 17);
+  for (const auto& trace : traces) {
+    const auto result = sim::simulate(trace, manifest, qoe, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    ASSERT_EQ(result.chunks.size(), 65u);
+  }
+}
+
+}  // namespace
+}  // namespace abr

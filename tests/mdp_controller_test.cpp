@@ -1,0 +1,162 @@
+#include "core/mdp_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "predict/predictor.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+ThroughputMarkovModel fitted_model(trace::DatasetKind kind,
+                                   std::size_t states = 16) {
+  ThroughputMarkovModel model(states, 50.0, 10000.0);
+  const auto traces = trace::make_dataset(kind, 20, 320.0, 1234);
+  model.fit(traces, 4.0);
+  return model;
+}
+
+TEST(ThroughputMarkovModel, RowsAreDistributions) {
+  const auto model = fitted_model(trace::DatasetKind::kHsdpa);
+  for (std::size_t i = 0; i < model.state_count(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < model.state_count(); ++j) {
+      const double p = model.transition(i, j);
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      row_sum += p;
+    }
+    ASSERT_NEAR(row_sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ThroughputMarkovModel, UnfittedIsUniform) {
+  const ThroughputMarkovModel model(8, 50.0, 10000.0);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_NEAR(model.transition(3, j), 1.0 / 8.0, 1e-12);
+  }
+}
+
+TEST(ThroughputMarkovModel, FitCapturesPersistence) {
+  // HSDPA-like traces are strongly autocorrelated at 4 s granularity: the
+  // self-transition must dominate a uniform row.
+  const auto model = fitted_model(trace::DatasetKind::kHsdpa);
+  double self_weight = 0.0;
+  std::size_t populated = 0;
+  for (std::size_t i = 0; i < model.state_count(); ++i) {
+    const double p = model.transition(i, i);
+    if (p > 1.5 / static_cast<double>(model.state_count())) {
+      self_weight += p;
+      ++populated;
+    }
+  }
+  EXPECT_GE(populated, 4u);
+  // Uniform would give 1/16 ~= 0.06; fitted persistence should be several
+  // times that.
+  EXPECT_GT(self_weight / static_cast<double>(populated),
+            2.5 / static_cast<double>(model.state_count()));
+}
+
+TEST(ThroughputMarkovModel, ObserveIgnoresNonPositive) {
+  ThroughputMarkovModel model(4, 50.0, 10000.0);
+  model.observe(0.0, 100.0);
+  model.observe(100.0, -3.0);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(model.transition(0, j), 0.25, 1e-12);
+  }
+}
+
+TEST(MdpController, ValidatesConfig) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig bad;
+  bad.discount = 1.0;
+  EXPECT_THROW(MdpController(manifest, qoe,
+                             ThroughputMarkovModel(4, 50.0, 10000.0), bad),
+               std::invalid_argument);
+}
+
+TEST(MdpController, ValueIterationConverges) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig config;
+  config.throughput_states = 8;
+  config.buffer_bins = 16;
+  MdpController controller(manifest, qoe,
+                           fitted_model(trace::DatasetKind::kMarkov, 8),
+                           config);
+  EXPECT_GT(controller.iterations_used(), 1u);
+  EXPECT_LT(controller.iterations_used(), config.max_iterations);
+}
+
+TEST(MdpController, PolicyIsSaneAtExtremes) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig config;
+  config.throughput_states = 12;
+  config.buffer_bins = 24;
+  MdpController controller(manifest, qoe,
+                           fitted_model(trace::DatasetKind::kMarkov, 12),
+                           config);
+  // Starved link, empty buffer: lowest level.
+  EXPECT_EQ(controller.policy(0.5, 80.0, 0), 0u);
+  // Fat link, full buffer, already at top: stay at top.
+  EXPECT_EQ(controller.policy(29.0, 9000.0, 2), 2u);
+}
+
+TEST(MdpController, FirstChunkWithoutHistoryIsLowest) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig config;
+  config.throughput_states = 8;
+  config.buffer_bins = 16;
+  MdpController controller(manifest, qoe,
+                           fitted_model(trace::DatasetKind::kMarkov, 8),
+                           config);
+  sim::AbrState state;
+  EXPECT_EQ(controller.decide(state, manifest), 0u);
+}
+
+TEST(MdpController, RejectsMismatchedManifest) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig config;
+  config.throughput_states = 4;
+  config.buffer_bins = 8;
+  MdpController controller(manifest, qoe,
+                           fitted_model(trace::DatasetKind::kMarkov, 4),
+                           config);
+  const auto other = media::VideoManifest::envivio_default();
+  sim::AbrState state;
+  const std::vector<double> history = {1000.0};
+  state.throughput_history_kbps = history;
+  EXPECT_THROW(controller.decide(state, other), std::logic_error);
+}
+
+TEST(MdpController, CompletesSessionsOnItsHomeTurf) {
+  // On the Markov dataset (where the model assumption is exactly right) the
+  // MDP policy must stream competently: no catastrophic rebuffering.
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  MdpConfig config;
+  MdpController controller(manifest, qoe,
+                           fitted_model(trace::DatasetKind::kMarkov), config);
+  predict::HarmonicMeanPredictor predictor(5);
+  const auto traces = trace::make_dataset(trace::DatasetKind::kMarkov, 8,
+                                          320.0, 777);
+  for (const auto& trace : traces) {
+    const auto result =
+        sim::simulate(trace, manifest, qoe, {}, controller, predictor);
+    ASSERT_EQ(result.chunks.size(), manifest.chunk_count());
+    ASSERT_GT(result.average_bitrate_kbps, 350.0);
+    ASSERT_LT(result.total_rebuffer_s, 30.0);
+  }
+}
+
+}  // namespace
+}  // namespace abr::core

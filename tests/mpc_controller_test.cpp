@@ -1,0 +1,215 @@
+#include "core/mpc_controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/horizon_solver.hpp"
+#include "predict/predictor.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+using ::abr::testing::ConstantPredictor;
+
+sim::AbrState make_state(std::size_t chunk, double buffer, std::size_t prev,
+                         std::span<const double> history,
+                         std::span<const double> prediction) {
+  sim::AbrState state;
+  state.chunk_index = chunk;
+  state.buffer_s = buffer;
+  state.prev_level = prev;
+  state.has_prev = true;
+  state.throughput_history_kbps = history;
+  state.prediction_kbps = prediction;
+  state.playback_started = true;
+  return state;
+}
+
+TEST(MpcController, FirstChunkWithoutForecastIsLowest) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MpcController controller(manifest, qoe, MpcConfig{});
+  sim::AbrState state;
+  state.chunk_index = 0;
+  const std::vector<double> none;
+  state.prediction_kbps = none;
+  EXPECT_EQ(controller.decide(state, manifest), 0u);
+  const std::vector<double> zero = {0.0};
+  state.prediction_kbps = zero;
+  EXPECT_EQ(controller.decide(state, manifest), 0u);
+}
+
+TEST(MpcController, AgreesWithDirectSolve) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MpcConfig config;
+  config.horizon = 5;
+  MpcController controller(manifest, qoe, config);
+  HorizonSolver solver(manifest, qoe);
+
+  const std::vector<double> prediction(5, 1200.0);
+  const std::vector<double> history = {1200.0};
+  const auto state = make_state(1, 8.0, 0, history, prediction);
+
+  HorizonProblem problem;
+  problem.buffer_s = 8.0;
+  problem.prev_level = 0;
+  problem.has_prev = true;
+  problem.predicted_kbps = prediction;
+  problem.first_chunk = 1;
+  problem.buffer_capacity_s = config.buffer_capacity_s;
+
+  EXPECT_EQ(controller.decide(state, manifest),
+            solver.solve(problem).levels.front());
+}
+
+/// Theorem 1: RobustMPC (max-min over the forecast interval) equals regular
+/// MPC fed the interval's lower bound. We verify the implementation half:
+/// the robust controller's decision equals a plain controller given the
+/// deflated forecast.
+TEST(MpcController, Theorem1RobustEqualsMpcOnLowerBound) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+
+  MpcConfig robust_config;
+  robust_config.robust = true;
+  MpcController robust(manifest, qoe, robust_config);
+
+  MpcController plain(manifest, qoe, MpcConfig{});
+
+  // Feed both controllers a history where predictions over-estimated by 25%
+  // so the robust tracker learns err = 0.25.
+  util::Rng rng(7);
+  std::vector<double> history;
+  std::vector<double> prediction = {1000.0, 1000.0, 1000.0, 1000.0, 1000.0};
+  for (std::size_t k = 1; k <= 5; ++k) {
+    history.push_back(800.0);  // actual: prediction was 1000 -> err 0.25
+    const auto state = make_state(k, 12.0, 1, history, prediction);
+    robust.decide(state, manifest);
+  }
+  // Now compare the next decision against plain MPC on C / (1 + 0.25).
+  history.push_back(800.0);
+  const auto state = make_state(6, 12.0, 1, history, prediction);
+  const std::size_t robust_choice = robust.decide(state, manifest);
+  EXPECT_NEAR(robust.last_effective_forecast_kbps(), 1000.0 / 1.25, 1e-9);
+
+  const std::vector<double> deflated(5, 1000.0 / 1.25);
+  const auto deflated_state = make_state(6, 12.0, 1, history, deflated);
+  EXPECT_EQ(robust_choice, plain.decide(deflated_state, manifest));
+}
+
+/// Theorem 1's proof core: the worst-case throughput in an interval is its
+/// lower bound — QoE is monotone non-decreasing in throughput.
+TEST(MpcController, QoeMonotoneInThroughput) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  HorizonSolver solver(manifest, qoe);
+  util::Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const double lo = rng.uniform(200.0, 2000.0);
+    const double hi = lo * rng.uniform(1.05, 1.8);
+    const std::vector<double> lo_pred(5, lo);
+    const std::vector<double> hi_pred(5, hi);
+    HorizonProblem problem;
+    problem.buffer_s = rng.uniform(0.0, 30.0);
+    problem.prev_level = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    problem.has_prev = true;
+    problem.first_chunk = 3;
+    problem.predicted_kbps = lo_pred;
+    const double qoe_lo = solver.solve(problem).objective;
+    problem.predicted_kbps = hi_pred;
+    const double qoe_hi = solver.solve(problem).objective;
+    ASSERT_GE(qoe_hi, qoe_lo - 1e-9);
+  }
+}
+
+TEST(MpcController, RobustIsNeverMoreAggressiveThanPlain) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  MpcConfig robust_config;
+  robust_config.robust = true;
+  MpcController robust(manifest, qoe, robust_config);
+  MpcController plain(manifest, qoe, MpcConfig{});
+
+  // After overestimation history, the robust choice must be <= plain's.
+  std::vector<double> history;
+  const std::vector<double> prediction(5, 2500.0);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    history.push_back(1500.0);  // heavy overestimation
+    const auto state = make_state(k, 15.0, 2, history, prediction);
+    const std::size_t r = robust.decide(state, manifest);
+    const std::size_t p = plain.decide(state, manifest);
+    if (k >= 2) {  // tracker warmed up
+      ASSERT_LE(r, p) << "chunk " << k;
+    }
+  }
+}
+
+TEST(MpcController, ResetClearsErrorMemory) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  MpcConfig config;
+  config.robust = true;
+  MpcController controller(manifest, qoe, config);
+
+  std::vector<double> history = {500.0};
+  const std::vector<double> prediction(5, 2000.0);
+  const auto state = make_state(1, 10.0, 0, history, prediction);
+  controller.decide(state, manifest);
+  history.push_back(500.0);
+  const auto state2 = make_state(2, 10.0, 0, history, prediction);
+  controller.decide(state2, manifest);
+  // Error memory active: effective forecast deflated.
+  EXPECT_LT(controller.last_effective_forecast_kbps(), 2000.0);
+
+  controller.reset();
+  const std::vector<double> fresh_history;
+  const std::vector<double> fresh_pred(5, 2000.0);
+  auto fresh = make_state(0, 10.0, 0, fresh_history, fresh_pred);
+  fresh.has_prev = false;
+  controller.decide(fresh, manifest);
+  EXPECT_NEAR(controller.last_effective_forecast_kbps(), 2000.0, 1e-9);
+}
+
+TEST(MpcController, NamesReflectMode) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  EXPECT_EQ(MpcController(manifest, qoe, MpcConfig{}).name(), "MPC");
+  MpcConfig robust;
+  robust.robust = true;
+  EXPECT_EQ(MpcController(manifest, qoe, robust).name(), "RobustMPC");
+}
+
+TEST(MpcController, PredictionHorizonExposed) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  MpcConfig config;
+  config.horizon = 7;
+  MpcController controller(manifest, qoe, config);
+  EXPECT_EQ(controller.prediction_horizon(), 7u);
+}
+
+TEST(MpcController, FullSessionOnConstantTraceSettlesAtSustainableRate) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const auto trace = trace::ThroughputTrace::constant(2200.0, 1000.0);
+  MpcConfig config;
+  MpcController controller(manifest, qoe, config);
+  predict::HarmonicMeanPredictor predictor(5);
+  const sim::SessionResult result =
+      sim::simulate(trace, manifest, qoe, {}, controller, predictor);
+  EXPECT_NEAR(result.total_rebuffer_s, 0.0, 1e-9);
+  // Sustains at least 2000 kbps (the highest level under 2200); once the
+  // buffer is full MPC rationally spends the surplus on 3000 kbps bursts,
+  // so the average lands between the two levels with few switches.
+  EXPECT_GE(result.average_bitrate_kbps, 1900.0);
+  EXPECT_LE(result.switch_count, 12u);
+}
+
+}  // namespace
+}  // namespace abr::core

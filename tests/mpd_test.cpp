@@ -1,0 +1,113 @@
+#include "media/mpd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace abr::media {
+namespace {
+
+TEST(Iso8601, FormatAndParse) {
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT260S"), 260.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT4.5S"), 4.5);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT1H2M3S"), 3723.0);
+  EXPECT_DOUBLE_EQ(parse_iso8601_duration("PT2M"), 120.0);
+  EXPECT_NEAR(parse_iso8601_duration(format_iso8601_duration(260.0)), 260.0,
+              1e-3);
+}
+
+TEST(Iso8601, RejectsMalformed) {
+  EXPECT_THROW(parse_iso8601_duration("260S"), std::invalid_argument);
+  EXPECT_THROW(parse_iso8601_duration("PT"), std::invalid_argument);
+  EXPECT_THROW(parse_iso8601_duration("PTxS"), std::invalid_argument);
+  EXPECT_THROW(parse_iso8601_duration("PT5S6"), std::invalid_argument);
+}
+
+TEST(Mpd, CbrRoundTrip) {
+  const auto manifest = VideoManifest::envivio_default();
+  const std::string mpd = to_mpd(manifest);
+  const VideoManifest restored = from_mpd(mpd);
+  ASSERT_EQ(restored.level_count(), manifest.level_count());
+  ASSERT_EQ(restored.chunk_count(), manifest.chunk_count());
+  EXPECT_NEAR(restored.chunk_duration_s(), 4.0, 1e-9);
+  for (std::size_t level = 0; level < manifest.level_count(); ++level) {
+    EXPECT_NEAR(restored.bitrate_kbps(level), manifest.bitrate_kbps(level),
+                1e-6);
+  }
+  for (std::size_t k = 0; k < manifest.chunk_count(); ++k) {
+    EXPECT_NEAR(restored.chunk_kilobits(k, 2), manifest.chunk_kilobits(k, 2),
+                1e-3);
+  }
+}
+
+TEST(Mpd, VbrRoundTripPreservesPerChunkSizes) {
+  util::Rng rng(9);
+  const auto manifest =
+      VideoManifest::vbr(20, 4.0, {350.0, 600.0, 1000.0}, 0.3, rng, "vbr");
+  const VideoManifest restored = from_mpd(to_mpd(manifest));
+  for (std::size_t k = 0; k < manifest.chunk_count(); ++k) {
+    for (std::size_t level = 0; level < manifest.level_count(); ++level) {
+      EXPECT_NEAR(restored.chunk_kilobits(k, level),
+                  manifest.chunk_kilobits(k, level), 1e-3);
+    }
+  }
+}
+
+TEST(Mpd, ContainsStandardStructure) {
+  const std::string mpd = to_mpd(VideoManifest::envivio_default());
+  EXPECT_NE(mpd.find("urn:mpeg:dash:schema:mpd:2011"), std::string::npos);
+  EXPECT_NE(mpd.find("<Period>"), std::string::npos);
+  EXPECT_NE(mpd.find("SegmentTemplate"), std::string::npos);
+  EXPECT_NE(mpd.find("$RepresentationID$"), std::string::npos);
+  EXPECT_NE(mpd.find("SegmentSizes"), std::string::npos);
+}
+
+TEST(Mpd, RejectsMissingStructure) {
+  EXPECT_THROW(from_mpd("<NotMPD/>"), std::invalid_argument);
+  EXPECT_THROW(from_mpd("<MPD></MPD>"), std::invalid_argument);
+  EXPECT_THROW(from_mpd("<MPD><Period/></MPD>"), std::invalid_argument);
+}
+
+TEST(Mpd, RejectsRepresentationWithoutSizes) {
+  const std::string mpd = R"(<MPD><Period><AdaptationSet>
+    <SegmentTemplate duration="4000" timescale="1000"/>
+    <Representation id="0" bandwidth="350000"/>
+  </AdaptationSet></Period></MPD>)";
+  EXPECT_THROW(from_mpd(mpd), std::invalid_argument);
+}
+
+TEST(Mpd, RejectsInconsistentSizeLists) {
+  const std::string mpd = R"(<MPD><Period><AdaptationSet>
+    <SegmentTemplate duration="4" timescale="1"/>
+    <Representation id="0" bandwidth="350000">
+      <SegmentSizes>1400 1400</SegmentSizes>
+    </Representation>
+    <Representation id="1" bandwidth="600000">
+      <SegmentSizes>2400</SegmentSizes>
+    </Representation>
+  </AdaptationSet></Period></MPD>)";
+  EXPECT_THROW(from_mpd(mpd), std::invalid_argument);
+}
+
+TEST(Mpd, SortsRepresentationsByBandwidth) {
+  // Representations listed high-to-low must still produce an ascending
+  // ladder.
+  const std::string mpd = R"(<MPD><Period><AdaptationSet>
+    <SegmentTemplate duration="4" timescale="1"/>
+    <Representation id="hi" bandwidth="600000">
+      <SegmentSizes>2400 2400</SegmentSizes>
+    </Representation>
+    <Representation id="lo" bandwidth="350000">
+      <SegmentSizes>1400 1400</SegmentSizes>
+    </Representation>
+  </AdaptationSet></Period></MPD>)";
+  const VideoManifest manifest = from_mpd(mpd);
+  ASSERT_EQ(manifest.level_count(), 2u);
+  EXPECT_DOUBLE_EQ(manifest.bitrate_kbps(0), 350.0);
+  EXPECT_DOUBLE_EQ(manifest.chunk_kilobits(0, 1), 2400.0);
+}
+
+}  // namespace
+}  // namespace abr::media

@@ -1,0 +1,80 @@
+#include "net/shaper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace abr::net {
+namespace {
+
+/// Receives everything from a stream until EOF; returns byte count.
+std::size_t drain(TcpStream& stream) {
+  char buffer[65536];
+  std::size_t total = 0;
+  while (true) {
+    const std::size_t n = stream.read(buffer, sizeof(buffer));
+    if (n == 0) return total;
+    total += n;
+  }
+}
+
+double shaped_transfer_seconds(const trace::ThroughputTrace& trace,
+                               double speedup, std::size_t bytes) {
+  TcpListener listener = TcpListener::bind_loopback();
+  std::size_t received = 0;
+  std::thread receiver([&listener, &received] {
+    TcpStream peer = listener.accept();
+    received = drain(peer);
+  });
+
+  TcpStream sender = TcpStream::connect("127.0.0.1", listener.port());
+  TraceShaper shaper(trace, speedup);
+  const std::string payload(bytes, 'z');
+  const auto start = std::chrono::steady_clock::now();
+  shaper.send(sender, payload);
+  sender.shutdown_write();
+  receiver.join();
+  const auto end = std::chrono::steady_clock::now();
+  EXPECT_EQ(received, bytes);
+  return std::chrono::duration<double>(end - start).count();
+}
+
+TEST(TraceShaper, ConstantRateTransferTakesExpectedTime) {
+  // 500 kB at 2 Mbps = 2 s of trace time; at speedup 10 => ~0.2 s wall.
+  const auto trace = trace::ThroughputTrace::constant(2000.0, 1000.0);
+  const double wall = shaped_transfer_seconds(trace, 10.0, 500 * 1000);
+  EXPECT_GT(wall, 0.12);
+  EXPECT_LT(wall, 0.45);
+}
+
+TEST(TraceShaper, FasterTraceFinishesSooner) {
+  const auto slow = trace::ThroughputTrace::constant(1000.0, 1000.0);
+  const auto fast = trace::ThroughputTrace::constant(8000.0, 1000.0);
+  const double slow_wall = shaped_transfer_seconds(slow, 20.0, 400 * 1000);
+  const double fast_wall = shaped_transfer_seconds(fast, 20.0, 400 * 1000);
+  EXPECT_LT(fast_wall, slow_wall);
+  EXPECT_GT(slow_wall / fast_wall, 3.0);  // nominal ratio is 8x
+}
+
+TEST(TraceShaper, FollowsRateChanges) {
+  // 1 Mbps for 2 s then 8 Mbps: 500 kB = 4000 kb needs
+  // 2 s * 1000 + 0.25 s * 8000 => 2.25 s of trace time.
+  const trace::ThroughputTrace trace({{2.0, 1000.0}, {10.0, 8000.0}});
+  const double wall = shaped_transfer_seconds(trace, 10.0, 500 * 1000);
+  EXPECT_GT(wall, 0.17);
+  EXPECT_LT(wall, 0.40);
+}
+
+TEST(TraceShaper, SessionClockTracksSpeedup) {
+  const auto trace = trace::ThroughputTrace::constant(1000.0, 1000.0);
+  TraceShaper shaper(trace, 50.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // 0.1 s of wall time at speedup 50 ~= 5 s of session time.
+  EXPECT_NEAR(shaper.session_now(), 5.0, 1.5);
+  shaper.reset_epoch();
+  EXPECT_LT(shaper.session_now(), 1.0);
+}
+
+}  // namespace
+}  // namespace abr::net

@@ -1,0 +1,166 @@
+#include "core/offline_optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/algorithms.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+PlannerConfig discrete_config() {
+  PlannerConfig config;
+  config.continuous_relaxation = false;
+  return config;
+}
+
+TEST(OfflineOptimalPlanner, ValidatesConfig) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  PlannerConfig zero_beam;
+  zero_beam.beam_width = 0;
+  EXPECT_THROW(OfflineOptimalPlanner(manifest, qoe, {}, zero_beam),
+               std::invalid_argument);
+  PlannerConfig one_level;
+  one_level.relaxation_levels = 1;
+  EXPECT_THROW(OfflineOptimalPlanner(manifest, qoe, {}, one_level),
+               std::invalid_argument);
+}
+
+TEST(OfflineOptimalPlanner, ConstantFastLinkPlansTopBitrate) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto trace = trace::ThroughputTrace::constant(50000.0, 1000.0);
+  const OfflineOptimalPlanner planner(manifest, qoe, {}, discrete_config());
+  const PlanResult plan = planner.plan(trace);
+  ASSERT_EQ(plan.bitrates_kbps.size(), 8u);
+  // With a 50 Mbps link even the first chunk downloads almost instantly:
+  // everything at the top level, negligible startup.
+  for (std::size_t k = 1; k < plan.bitrates_kbps.size(); ++k) {
+    EXPECT_DOUBLE_EQ(plan.bitrates_kbps[k], 1500.0);
+  }
+  EXPECT_DOUBLE_EQ(plan.total_rebuffer_s, 0.0);
+  EXPECT_LT(plan.startup_delay_s, 0.2);
+}
+
+TEST(OfflineOptimalPlanner, StarvedLinkPlansBottomBitrate) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto trace = trace::ThroughputTrace::constant(100.0, 10000.0);
+  const OfflineOptimalPlanner planner(manifest, qoe, {}, discrete_config());
+  const PlanResult plan = planner.plan(trace);
+  for (const double bitrate : plan.bitrates_kbps) {
+    EXPECT_DOUBLE_EQ(bitrate, 300.0);
+  }
+}
+
+TEST(OfflineOptimalPlanner, BeamMatchesExhaustiveOnSmallInstances) {
+  util::Rng rng(81);
+  const auto qoe = testing::balanced_qoe();
+  const auto manifest = media::VideoManifest::cbr(6, 4.0, {300.0, 900.0, 2000.0});
+  for (int trial = 0; trial < 15; ++trial) {
+    util::Rng trace_rng = rng.split();
+    const auto trace = trace::HsdpaLikeConfig{}.generate(trace_rng, 120.0);
+    const OfflineOptimalPlanner planner(manifest, qoe, {}, discrete_config());
+    const PlanResult beam = planner.plan(trace);
+    const PlanResult exact = planner.plan_exhaustive(trace);
+    ASSERT_NEAR(beam.qoe, exact.qoe, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(OfflineOptimalPlanner, ExhaustiveGuardsSpaceSize) {
+  const auto manifest = media::VideoManifest::envivio_default();  // 5^65
+  const auto qoe = testing::balanced_qoe();
+  const OfflineOptimalPlanner planner(manifest, qoe, {}, discrete_config());
+  const auto trace = trace::ThroughputTrace::constant(1000.0, 100.0);
+  EXPECT_THROW(planner.plan_exhaustive(trace), std::invalid_argument);
+}
+
+TEST(OfflineOptimalPlanner, RelaxationUpperBoundsDiscrete) {
+  util::Rng rng(82);
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  for (int trial = 0; trial < 10; ++trial) {
+    util::Rng trace_rng = rng.split();
+    const auto trace = trace::FccLikeConfig{}.generate(trace_rng, 120.0);
+    const OfflineOptimalPlanner discrete(manifest, qoe, {}, discrete_config());
+    PlannerConfig relaxed_config;
+    relaxed_config.continuous_relaxation = true;
+    relaxed_config.relaxation_levels = 15;
+    const OfflineOptimalPlanner relaxed(manifest, qoe, {}, relaxed_config);
+    // The relaxation ladder includes Rmin and Rmax plus intermediate rates;
+    // it can only do at least as well (up to beam noise).
+    EXPECT_GE(relaxed.plan(trace).qoe, discrete.plan(trace).qoe - 100.0);
+  }
+}
+
+/// The load-bearing invariant of normalized QoE: no online algorithm can
+/// beat the offline optimum on the same trace and session settings.
+TEST(OfflineOptimalPlanner, UpperBoundsOnlineAlgorithms) {
+  util::Rng rng(83);
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const sim::SessionConfig session;
+  PlannerConfig config;  // continuous relaxation, default beam
+  const OfflineOptimalPlanner planner(manifest, qoe, session, config);
+
+  AlgorithmOptions options;
+  options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
+
+  for (int trial = 0; trial < 4; ++trial) {
+    util::Rng trace_rng = rng.split();
+    const auto trace = trace::HsdpaLikeConfig{}.generate(trace_rng, 320.0);
+    const double optimal = planner.plan(trace).qoe;
+    for (const Algorithm algorithm : all_algorithms()) {
+      auto instance = make_algorithm(algorithm, manifest, qoe, options);
+      const auto result = sim::simulate(trace, manifest, qoe, session,
+                                        *instance.controller,
+                                        *instance.predictor);
+      ASSERT_LE(result.qoe, optimal + 1e-6)
+          << algorithm_name(algorithm) << " beat OPT on trial " << trial;
+    }
+  }
+}
+
+TEST(NormalizedQoe, Basics) {
+  EXPECT_DOUBLE_EQ(normalized_qoe(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(normalized_qoe(-20.0, 100.0), -0.2);
+  EXPECT_DOUBLE_EQ(normalized_qoe(100.0, 100.0), 1.0);
+  // Degenerate optimum: defined as 0.
+  EXPECT_DOUBLE_EQ(normalized_qoe(5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_qoe(5.0, -1.0), 0.0);
+}
+
+TEST(OfflineOptimalPlanner, PlanningLadderReflectsRelaxation) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  PlannerConfig relaxed;
+  relaxed.relaxation_levels = 21;
+  const OfflineOptimalPlanner planner(manifest, qoe, {}, relaxed);
+  ASSERT_EQ(planner.planning_ladder_kbps().size(), 21u);
+  EXPECT_DOUBLE_EQ(planner.planning_ladder_kbps().front(), 350.0);
+  EXPECT_DOUBLE_EQ(planner.planning_ladder_kbps().back(), 3000.0);
+
+  const OfflineOptimalPlanner discrete(manifest, qoe, {}, discrete_config());
+  EXPECT_EQ(discrete.planning_ladder_kbps().size(), 5u);
+}
+
+TEST(OfflineOptimalPlanner, RespectsFixedStartupPolicy) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  sim::SessionConfig session;
+  session.startup_policy = sim::StartupPolicy::kFixedDelay;
+  session.fixed_startup_delay_s = 5.0;
+  session.include_startup_in_qoe = false;
+  const auto trace = trace::ThroughputTrace::constant(1000.0, 1000.0);
+  const OfflineOptimalPlanner planner(manifest, qoe, session, discrete_config());
+  const PlanResult plan = planner.plan(trace);
+  EXPECT_NEAR(plan.startup_delay_s, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace abr::core

@@ -1,0 +1,178 @@
+// Cross-cutting property tests: invariants that must hold across QoE
+// presets, algorithms, and workloads simultaneously. These complement the
+// per-module suites with parameterized sweeps over whole-session behaviour.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/algorithms.hpp"
+#include "core/offline_optimal.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr {
+namespace {
+
+using SessionCase = std::tuple<core::Algorithm, qoe::QoePreference>;
+
+/// FastMPC tables depend on the QoE weights; build each once per suite.
+std::shared_ptr<const core::FastMpcTable> cached_table(
+    const media::VideoManifest& manifest, qoe::QoePreference preference,
+    const qoe::QoeModel& model) {
+  static std::map<qoe::QoePreference, std::shared_ptr<const core::FastMpcTable>>
+      cache;
+  auto& entry = cache[preference];
+  if (entry == nullptr) {
+    entry = core::default_fastmpc_table(manifest, model, 30.0);
+  }
+  return entry;
+}
+
+class SessionProperties : public ::testing::TestWithParam<SessionCase> {
+ protected:
+  static std::vector<trace::ThroughputTrace> traces() {
+    return trace::make_dataset(trace::DatasetKind::kHsdpa, 4, 320.0, 2024);
+  }
+};
+
+/// Sessions are deterministic: identical inputs give identical outputs,
+/// regardless of algorithm state carried across runs.
+TEST_P(SessionProperties, Deterministic) {
+  const auto [algorithm, preference] = GetParam();
+  const auto manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel model(media::QualityFunction::identity(),
+                            qoe::preset_weights(preference));
+  core::AlgorithmOptions options;
+  options.fastmpc_table = cached_table(manifest, preference, model);
+  auto instance = core::make_algorithm(algorithm, manifest, model, options);
+
+  for (const auto& trace : traces()) {
+    const auto a = sim::simulate(trace, manifest, model, {},
+                                 *instance.controller, *instance.predictor);
+    const auto b = sim::simulate(trace, manifest, model, {},
+                                 *instance.controller, *instance.predictor);
+    ASSERT_EQ(a.chunks.size(), b.chunks.size());
+    for (std::size_t k = 0; k < a.chunks.size(); ++k) {
+      ASSERT_EQ(a.chunks[k].level, b.chunks[k].level);
+    }
+    ASSERT_DOUBLE_EQ(a.qoe, b.qoe);
+  }
+}
+
+/// The reported QoE always decomposes exactly per Eq. (5) from the chunk log.
+TEST_P(SessionProperties, QoeDecomposesFromChunkLog) {
+  const auto [algorithm, preference] = GetParam();
+  const auto manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel model(media::QualityFunction::identity(),
+                            qoe::preset_weights(preference));
+  core::AlgorithmOptions options;
+  options.fastmpc_table = cached_table(manifest, preference, model);
+  auto instance = core::make_algorithm(algorithm, manifest, model, options);
+
+  for (const auto& trace : traces()) {
+    const auto result = sim::simulate(trace, manifest, model, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    std::vector<double> bitrates;
+    std::vector<double> rebuffers;
+    for (const sim::ChunkRecord& r : result.chunks) {
+      bitrates.push_back(r.bitrate_kbps);
+      rebuffers.push_back(r.rebuffer_s);
+    }
+    ASSERT_NEAR(result.qoe,
+                model.session_qoe(bitrates, rebuffers, result.startup_delay_s),
+                1e-6);
+  }
+}
+
+/// No online algorithm beats the offline optimum under any preset.
+TEST_P(SessionProperties, BoundedByOfflineOptimal) {
+  const auto [algorithm, preference] = GetParam();
+  const auto manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel model(media::QualityFunction::identity(),
+                            qoe::preset_weights(preference));
+  core::AlgorithmOptions options;
+  options.fastmpc_table = cached_table(manifest, preference, model);
+  auto instance = core::make_algorithm(algorithm, manifest, model, options);
+  const core::OfflineOptimalPlanner planner(manifest, model, {});
+
+  for (const auto& trace : traces()) {
+    const double optimal = planner.plan(trace).qoe;
+    const auto result = sim::simulate(trace, manifest, model, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    ASSERT_LE(result.qoe, optimal + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsByPreference, SessionProperties,
+    ::testing::Combine(
+        ::testing::Values(core::Algorithm::kRateBased,
+                          core::Algorithm::kBufferBased,
+                          core::Algorithm::kFastMpc,
+                          core::Algorithm::kRobustMpc,
+                          core::Algorithm::kDashJs,
+                          core::Algorithm::kFestive),
+        ::testing::Values(qoe::QoePreference::kBalanced,
+                          qoe::QoePreference::kAvoidInstability,
+                          qoe::QoePreference::kAvoidRebuffering)),
+    [](const ::testing::TestParamInfo<SessionCase>& info) {
+      std::string name = core::algorithm_name(std::get<0>(info.param));
+      name += "_";
+      name += qoe::preference_name(std::get<1>(info.param));
+      for (char& c : name) {
+        if (c == '.' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+/// Scaling a trace up can only help a fixed plan: verifies the throughput
+/// monotonicity at whole-session granularity (the Theorem 1 backbone).
+TEST(SessionMonotonicity, FasterLinkNeverHurtsAFixedPlan) {
+  util::Rng rng(9);
+  const auto manifest = testing::small_manifest();
+  const auto model = testing::balanced_qoe();
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Rng trace_rng = rng.split();
+    const auto trace = trace::HsdpaLikeConfig{}.generate(trace_rng, 120.0);
+    std::vector<std::size_t> script(manifest.chunk_count());
+    for (auto& level : script) {
+      level = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    }
+    testing::ScriptedController slow_controller(script);
+    testing::ScriptedController fast_controller(script);
+    testing::ConstantPredictor predictor(trace.mean_kbps());
+    const auto slow = sim::simulate(trace, manifest, model, {},
+                                    slow_controller, predictor);
+    const auto fast = sim::simulate(trace.scaled(1.5), manifest, model, {},
+                                    fast_controller, predictor);
+    ASSERT_GE(fast.qoe, slow.qoe - 1e-9) << "trial " << trial;
+  }
+}
+
+/// The startup delay equals the first chunk's download time under the
+/// default policy, for every algorithm.
+TEST(SessionStartup, FirstChunkPolicyInvariant) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto model = testing::balanced_qoe();
+  const auto traces = trace::make_dataset(trace::DatasetKind::kFcc, 3, 320.0, 5);
+  for (const core::Algorithm algorithm : core::all_algorithms()) {
+    core::AlgorithmOptions options;
+    options.fastmpc_table =
+        cached_table(manifest, qoe::QoePreference::kBalanced, model);
+    auto instance = core::make_algorithm(algorithm, manifest, model, options);
+    for (const auto& trace : traces) {
+      const auto result = sim::simulate(trace, manifest, model, {},
+                                        *instance.controller,
+                                        *instance.predictor);
+      ASSERT_NEAR(result.startup_delay_s, result.chunks.front().download_s,
+                  1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abr

@@ -1,0 +1,177 @@
+#include "qoe/qoe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace abr::qoe {
+namespace {
+
+QoeModel balanced_model() {
+  return QoeModel(media::QualityFunction::identity(), QoeWeights::balanced());
+}
+
+TEST(QoeWeights, PaperPresets) {
+  const QoeWeights balanced = QoeWeights::balanced();
+  EXPECT_DOUBLE_EQ(balanced.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(balanced.mu, 3000.0);
+  EXPECT_DOUBLE_EQ(balanced.mu_startup, 3000.0);
+
+  const QoeWeights instability = QoeWeights::avoid_instability();
+  EXPECT_DOUBLE_EQ(instability.lambda, 3.0);
+  EXPECT_DOUBLE_EQ(instability.mu, 3000.0);
+
+  const QoeWeights rebuffering = QoeWeights::avoid_rebuffering();
+  EXPECT_DOUBLE_EQ(rebuffering.lambda, 1.0);
+  EXPECT_DOUBLE_EQ(rebuffering.mu, 6000.0);
+  EXPECT_DOUBLE_EQ(rebuffering.mu_startup, 6000.0);
+}
+
+TEST(QoeWeights, PresetSelector) {
+  EXPECT_EQ(preset_weights(QoePreference::kBalanced), QoeWeights::balanced());
+  EXPECT_EQ(preset_weights(QoePreference::kAvoidInstability),
+            QoeWeights::avoid_instability());
+  EXPECT_EQ(preset_weights(QoePreference::kAvoidRebuffering),
+            QoeWeights::avoid_rebuffering());
+  EXPECT_STREQ(preference_name(QoePreference::kBalanced), "Balanced");
+}
+
+TEST(QoeModel, RejectsNegativeWeights) {
+  EXPECT_THROW(QoeModel(media::QualityFunction::identity(),
+                        QoeWeights{-1.0, 3000.0, 3000.0}),
+               std::invalid_argument);
+  EXPECT_THROW(QoeModel(media::QualityFunction::identity(),
+                        QoeWeights{1.0, -1.0, 3000.0}),
+               std::invalid_argument);
+}
+
+TEST(QoeModel, HandComputedExample) {
+  // Eq. (5): bitrates {1000, 2000, 1000}, rebuffer {0, 0.5, 0}, Ts = 1.
+  // quality = 4000; smoothness = |2000-1000| + |1000-2000| = 2000;
+  // QoE = 4000 - 1*2000 - 3000*0.5 - 3000*1 = -2500.
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates = {1000.0, 2000.0, 1000.0};
+  const std::vector<double> rebuffer = {0.0, 0.5, 0.0};
+  EXPECT_NEAR(model.session_qoe(bitrates, rebuffer, 1.0), -2500.0, 1e-9);
+}
+
+TEST(QoeModel, SteadySessionIsSumOfQualities) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates(10, 3000.0);
+  const std::vector<double> rebuffer(10, 0.0);
+  EXPECT_NEAR(model.session_qoe(bitrates, rebuffer, 0.0), 30000.0, 1e-9);
+}
+
+TEST(QoeModel, MismatchedVectorsThrow) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates = {1000.0, 2000.0};
+  const std::vector<double> rebuffer = {0.0};
+  EXPECT_THROW(model.session_qoe(bitrates, rebuffer, 0.0),
+               std::invalid_argument);
+}
+
+TEST(QoeModel, AccumulatorMatchesBatch) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates = {350.0, 600.0, 600.0, 3000.0, 1000.0};
+  const std::vector<double> rebuffer = {0.2, 0.0, 0.0, 1.5, 0.0};
+  QoeModel::Accumulator acc(model);
+  for (std::size_t i = 0; i < bitrates.size(); ++i) {
+    acc.add_chunk(bitrates[i], rebuffer[i]);
+  }
+  acc.set_startup_delay(2.0);
+  EXPECT_NEAR(acc.total(), model.session_qoe(bitrates, rebuffer, 2.0), 1e-9);
+  EXPECT_EQ(acc.chunk_count(), 5u);
+  EXPECT_NEAR(acc.total_rebuffer_s(), 1.7, 1e-12);
+}
+
+TEST(QoeModel, MoreRebufferLowersQoe) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates(5, 1000.0);
+  const std::vector<double> none(5, 0.0);
+  std::vector<double> some(5, 0.0);
+  some[2] = 1.0;
+  EXPECT_GT(model.session_qoe(bitrates, none, 0.0),
+            model.session_qoe(bitrates, some, 0.0));
+  EXPECT_NEAR(model.session_qoe(bitrates, none, 0.0) -
+                  model.session_qoe(bitrates, some, 0.0),
+              3000.0, 1e-9);
+}
+
+TEST(QoeModel, SwitchingPenalized) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> rebuffer(4, 0.0);
+  const std::vector<double> steady = {1000.0, 1000.0, 1000.0, 1000.0};
+  const std::vector<double> oscillating = {600.0, 1400.0, 600.0, 1400.0};
+  // Same total quality (4000), but oscillation pays 3 * 800 smoothness.
+  EXPECT_NEAR(model.session_qoe(steady, rebuffer, 0.0) -
+                  model.session_qoe(oscillating, rebuffer, 0.0),
+              2400.0, 1e-9);
+}
+
+TEST(QoeModel, LambdaScalesSmoothnessPenalty) {
+  const QoeModel strict(media::QualityFunction::identity(),
+                        QoeWeights::avoid_instability());
+  const QoeModel loose = balanced_model();
+  const std::vector<double> rebuffer(3, 0.0);
+  const std::vector<double> switching = {350.0, 3000.0, 350.0};
+  const double penalty_loose =
+      3700.0 - loose.session_qoe(switching, rebuffer, 0.0);
+  const double penalty_strict =
+      3700.0 - strict.session_qoe(switching, rebuffer, 0.0);
+  EXPECT_NEAR(penalty_strict, 3.0 * penalty_loose, 1e-9);
+}
+
+TEST(QoeModel, NonIdentityQualityFunction) {
+  const QoeModel model(media::QualityFunction::logarithmic(350.0, 1000.0),
+                       QoeWeights::balanced());
+  // Quality of the lowest level is log(1) = 0.
+  const std::vector<double> bitrates = {350.0};
+  const std::vector<double> rebuffer = {0.0};
+  EXPECT_NEAR(model.session_qoe(bitrates, rebuffer, 0.0), 0.0, 1e-9);
+  EXPECT_GT(model.quality(700.0), 0.0);
+}
+
+TEST(QoeModel, StartupDelayPenalty) {
+  const QoeModel model = balanced_model();
+  const std::vector<double> bitrates = {1000.0};
+  const std::vector<double> rebuffer = {0.0};
+  EXPECT_NEAR(model.session_qoe(bitrates, rebuffer, 0.0) -
+                  model.session_qoe(bitrates, rebuffer, 2.0),
+              6000.0, 1e-9);
+}
+
+TEST(QoeModel, RebufferEventPenalty) {
+  // Footnote 3: the per-event formulation. With mu_event set, each stall
+  // costs an extra fixed penalty on top of its duration.
+  qoe::QoeWeights weights = qoe::QoeWeights::balanced();
+  weights.mu_event = 500.0;
+  const QoeModel model(media::QualityFunction::identity(), weights);
+  const std::vector<double> bitrates(4, 1000.0);
+  const std::vector<double> none(4, 0.0);
+  std::vector<double> two_stalls(4, 0.0);
+  two_stalls[1] = 0.5;
+  two_stalls[3] = 0.25;
+  const double delta = model.session_qoe(bitrates, none, 0.0) -
+                       model.session_qoe(bitrates, two_stalls, 0.0);
+  EXPECT_NEAR(delta, 3000.0 * 0.75 + 2.0 * 500.0, 1e-9);
+
+  QoeModel::Accumulator acc(model);
+  for (std::size_t k = 0; k < 4; ++k) acc.add_chunk(bitrates[k], two_stalls[k]);
+  EXPECT_EQ(acc.rebuffer_events(), 2u);
+}
+
+TEST(QoeModel, NegativeEventWeightThrows) {
+  qoe::QoeWeights weights = qoe::QoeWeights::balanced();
+  weights.mu_event = -1.0;
+  EXPECT_THROW(QoeModel(media::QualityFunction::identity(), weights),
+               std::invalid_argument);
+}
+
+TEST(QoeModel, EmptySessionIsZero) {
+  const QoeModel model = balanced_model();
+  EXPECT_DOUBLE_EQ(model.session_qoe({}, {}, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace abr::qoe

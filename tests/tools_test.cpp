@@ -1,0 +1,105 @@
+// End-to-end tests of the command-line tools (tools/abrsim, tools/tracegen):
+// invoke the real binaries and check exit codes and output. Binary paths are
+// injected by CMake via ABRSIM_PATH / TRACEGEN_PATH.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+TEST(ToolsAbrsim, HelpExitsZero) {
+  const auto result = run_command(std::string(ABRSIM_PATH) + " --help");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("--algorithm"), std::string::npos);
+}
+
+TEST(ToolsAbrsim, RejectsUnknownAlgorithm) {
+  const auto result =
+      run_command(std::string(ABRSIM_PATH) + " --algorithm bogus");
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.output.find("unknown algorithm"), std::string::npos);
+}
+
+TEST(ToolsAbrsim, RunsASyntheticSession) {
+  const auto result = run_command(
+      std::string(ABRSIM_PATH) +
+      " --algorithm bb --dataset markov --index 1 --no-optimal");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("algorithm: BB"), std::string::npos);
+  EXPECT_NE(result.output.find("average bitrate:"), std::string::npos);
+}
+
+TEST(ToolsAbrsim, ChunkLogEmitsCsvRows) {
+  const auto result = run_command(
+      std::string(ABRSIM_PATH) +
+      " --algorithm rb --dataset fcc --no-optimal --chunk-log");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("chunk,level,bitrate_kbps"), std::string::npos);
+  // 65 chunk rows for the Envivio default.
+  std::size_t rows = 0;
+  std::size_t pos = result.output.find("chunk,level");
+  while ((pos = result.output.find('\n', pos + 1)) != std::string::npos) ++rows;
+  EXPECT_GE(rows, 65u);
+}
+
+TEST(ToolsTracegen, GeneratesLoadableDataset) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "abr_tracegen_test";
+  std::filesystem::remove_all(dir);
+  const auto result = run_command(std::string(TRACEGEN_PATH) +
+                                  " --kind fcc --count 3 --duration 60 --out " +
+                                  dir.string());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("wrote 3 FCC traces"), std::string::npos);
+  std::size_t csv_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".csv") ++csv_files;
+  }
+  EXPECT_EQ(csv_files, 3u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ToolsTracegen, RejectsUnknownKind) {
+  const auto result =
+      run_command(std::string(TRACEGEN_PATH) + " --kind wifi");
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+TEST(ToolsRoundTrip, TracegenOutputFeedsAbrsim) {
+  const auto dir = std::filesystem::temp_directory_path() / "abr_rt_test";
+  std::filesystem::remove_all(dir);
+  ASSERT_EQ(run_command(std::string(TRACEGEN_PATH) +
+                        " --kind markov --count 1 --duration 320 --out " +
+                        dir.string())
+                .exit_code,
+            0);
+  const auto result = run_command(
+      std::string(ABRSIM_PATH) + " --algorithm robustmpc --no-optimal --trace " +
+      (dir / "markov-0.csv").string());
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("algorithm: RobustMPC"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

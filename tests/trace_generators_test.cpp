@@ -1,0 +1,157 @@
+#include "trace/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace abr::trace {
+namespace {
+
+TEST(FccLikeGenerator, ProducesRequestedDuration) {
+  util::Rng rng(1);
+  const auto trace = FccLikeConfig{}.generate(rng, 320.0, "t");
+  EXPECT_GE(trace.period_s(), 320.0);
+  EXPECT_EQ(trace.name(), "t");
+}
+
+TEST(FccLikeGenerator, RatesWithinConfiguredBand) {
+  util::Rng rng(2);
+  const FccLikeConfig config;
+  const auto trace = config.generate(rng, 600.0);
+  for (const TraceSegment& seg : trace.segments()) {
+    EXPECT_GE(seg.rate_kbps, config.min_rate_kbps);
+    EXPECT_DOUBLE_EQ(seg.duration_s, config.interval_s);
+  }
+}
+
+TEST(FccLikeGenerator, LowRelativeVariability) {
+  // Fixed-line broadband: per-trace coefficient of variation stays small.
+  util::Rng rng(3);
+  util::RunningStats cov;
+  for (int i = 0; i < 50; ++i) {
+    const auto trace = FccLikeConfig{}.generate(rng, 320.0);
+    cov.add(trace.stddev_kbps() / trace.mean_kbps());
+  }
+  EXPECT_LT(cov.mean(), 0.25);
+}
+
+TEST(HsdpaLikeGenerator, HighRelativeVariability) {
+  util::Rng rng(4);
+  util::RunningStats cov;
+  for (int i = 0; i < 50; ++i) {
+    const auto trace = HsdpaLikeConfig{}.generate(rng, 320.0);
+    cov.add(trace.stddev_kbps() / trace.mean_kbps());
+  }
+  // Mobile 3G: materially more variable than FCC-like traces.
+  EXPECT_GT(cov.mean(), 0.35);
+}
+
+TEST(HsdpaLikeGenerator, RespectsRateClamps) {
+  util::Rng rng(5);
+  const HsdpaLikeConfig config;
+  const auto trace = config.generate(rng, 1000.0);
+  for (const TraceSegment& seg : trace.segments()) {
+    EXPECT_GE(seg.rate_kbps, config.min_rate_kbps);
+    EXPECT_LE(seg.rate_kbps, config.max_rate_kbps);
+  }
+}
+
+TEST(MarkovGenerator, RejectsBadConfigs) {
+  util::Rng rng(6);
+  MarkovConfig empty;
+  empty.state_mean_kbps.clear();
+  empty.state_stddev_kbps.clear();
+  EXPECT_THROW(empty.generate(rng, 100.0), std::invalid_argument);
+
+  MarkovConfig mismatched;
+  mismatched.state_stddev_kbps.pop_back();
+  EXPECT_THROW(mismatched.generate(rng, 100.0), std::invalid_argument);
+
+  MarkovConfig bad_matrix;
+  bad_matrix.transition_matrix = {1.0, 0.0};  // wrong size for 4 states
+  EXPECT_THROW(bad_matrix.generate(rng, 100.0), std::invalid_argument);
+}
+
+TEST(MarkovGenerator, SingleStateIsStationary) {
+  util::Rng rng(7);
+  MarkovConfig config;
+  config.state_mean_kbps = {1000.0};
+  config.state_stddev_kbps = {0.0};
+  const auto trace = config.generate(rng, 50.0);
+  for (const TraceSegment& seg : trace.segments()) {
+    EXPECT_DOUBLE_EQ(seg.rate_kbps, 1000.0);
+  }
+}
+
+TEST(MarkovGenerator, ExplicitTransitionMatrixHonored) {
+  util::Rng rng(8);
+  MarkovConfig config;
+  config.state_mean_kbps = {100.0, 5000.0};
+  config.state_stddev_kbps = {0.0, 0.0};
+  // Absorbing in state 0 once entered; start state is random, so after one
+  // step everything is 100 kbps except possibly the first sample.
+  config.transition_matrix = {1.0, 0.0, 1.0, 0.0};
+  const auto trace = config.generate(rng, 30.0);
+  for (std::size_t i = 1; i < trace.segments().size(); ++i) {
+    EXPECT_DOUBLE_EQ(trace.segments()[i].rate_kbps, 100.0);
+  }
+}
+
+TEST(MakeDataset, DeterministicForSeed) {
+  const auto a = make_dataset(DatasetKind::kHsdpa, 3, 100.0, 99);
+  const auto b = make_dataset(DatasetKind::kHsdpa, 3, 100.0, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].segments().size(), b[i].segments().size());
+    for (std::size_t s = 0; s < a[i].segments().size(); ++s) {
+      EXPECT_DOUBLE_EQ(a[i].segments()[s].rate_kbps,
+                       b[i].segments()[s].rate_kbps);
+    }
+  }
+}
+
+TEST(MakeDataset, DifferentSeedsDiffer) {
+  const auto a = make_dataset(DatasetKind::kFcc, 1, 100.0, 1);
+  const auto b = make_dataset(DatasetKind::kFcc, 1, 100.0, 2);
+  EXPECT_NE(a[0].mean_kbps(), b[0].mean_kbps());
+}
+
+TEST(MakeDataset, NamesEncodeKindAndIndex) {
+  const auto traces = make_dataset(DatasetKind::kMarkov, 2, 50.0, 7);
+  EXPECT_EQ(traces[0].name(), "Synthetic-0");
+  EXPECT_EQ(traces[1].name(), "Synthetic-1");
+  EXPECT_STREQ(dataset_name(DatasetKind::kFcc), "FCC");
+  EXPECT_STREQ(dataset_name(DatasetKind::kHsdpa), "HSDPA");
+}
+
+TEST(MakeDataset, TracesAreIndependentPerIndex) {
+  // Trace i must not depend on how many traces are requested.
+  const auto five = make_dataset(DatasetKind::kFcc, 5, 100.0, 42);
+  const auto two = make_dataset(DatasetKind::kFcc, 2, 100.0, 42);
+  EXPECT_DOUBLE_EQ(five[1].mean_kbps(), two[1].mean_kbps());
+}
+
+/// Parameterized cross-dataset sanity sweep.
+class DatasetSweep : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetSweep, AllTracesValidAndPositive) {
+  const auto traces = make_dataset(GetParam(), 10, 320.0, 11);
+  ASSERT_EQ(traces.size(), 10u);
+  for (const auto& trace : traces) {
+    EXPECT_GE(trace.period_s(), 320.0);
+    EXPECT_GT(trace.mean_kbps(), 0.0);
+    for (const TraceSegment& seg : trace.segments()) {
+      EXPECT_GT(seg.rate_kbps, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetSweep,
+                         ::testing::Values(DatasetKind::kFcc,
+                                           DatasetKind::kHsdpa,
+                                           DatasetKind::kMarkov));
+
+}  // namespace
+}  // namespace abr::trace

@@ -1,0 +1,159 @@
+#include "trace/throughput_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace abr::trace {
+namespace {
+
+TEST(ThroughputTrace, RejectsInvalidSegments) {
+  EXPECT_THROW(ThroughputTrace(std::vector<TraceSegment>{}),
+               std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{0.0, 100.0}}), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{-1.0, 100.0}}), std::invalid_argument);
+  EXPECT_THROW(ThroughputTrace({{1.0, -5.0}}), std::invalid_argument);
+  // All-zero capacity: a transfer could never complete.
+  EXPECT_THROW(ThroughputTrace({{1.0, 0.0}, {2.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(ThroughputTrace, ConstantTraceBasics) {
+  const auto trace = ThroughputTrace::constant(1000.0, 10.0, "c");
+  EXPECT_EQ(trace.name(), "c");
+  EXPECT_DOUBLE_EQ(trace.period_s(), 10.0);
+  EXPECT_DOUBLE_EQ(trace.mean_kbps(), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(9.99), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.stddev_kbps(), 0.0);
+}
+
+TEST(ThroughputTrace, RateAtSegmentBoundaries) {
+  const ThroughputTrace trace({{2.0, 100.0}, {3.0, 200.0}});
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1.999), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(2.0), 200.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(4.999), 200.0);
+  // Wraps to the first segment.
+  EXPECT_DOUBLE_EQ(trace.rate_at(5.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(12.5), 200.0);
+}
+
+TEST(ThroughputTrace, KilobitsBetweenWithinPeriod) {
+  const ThroughputTrace trace({{2.0, 100.0}, {3.0, 200.0}});
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(0.0, 2.0), 200.0);
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(0.0, 5.0), 800.0);
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(1.0, 3.0), 300.0);
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(2.5, 2.5), 0.0);
+}
+
+TEST(ThroughputTrace, KilobitsBetweenAcrossWrap) {
+  const ThroughputTrace trace({{2.0, 100.0}, {3.0, 200.0}});
+  // One full period (800 kb) plus [0, 1] of the next (100 kb).
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(0.0, 6.0), 900.0);
+  // Two full periods.
+  EXPECT_DOUBLE_EQ(trace.kilobits_between(1.0, 11.0), 1600.0);
+}
+
+TEST(ThroughputTrace, TransferEndTimeSimple) {
+  const auto trace = ThroughputTrace::constant(1000.0, 100.0);
+  // 500 kb at 1000 kbps takes 0.5 s.
+  EXPECT_NEAR(trace.transfer_end_time(500.0, 0.0), 0.5, 1e-9);
+  EXPECT_NEAR(trace.transfer_end_time(500.0, 3.25), 3.75, 1e-9);
+  EXPECT_DOUBLE_EQ(trace.transfer_end_time(0.0, 7.0), 7.0);
+}
+
+TEST(ThroughputTrace, TransferEndTimeAcrossSegments) {
+  const ThroughputTrace trace({{1.0, 100.0}, {1.0, 300.0}});
+  // 250 kb from t=0: 100 kb in first second, 150 kb at 300 kbps = 0.5 s.
+  EXPECT_NEAR(trace.transfer_end_time(250.0, 0.0), 1.5, 1e-9);
+}
+
+TEST(ThroughputTrace, TransferEndTimeAcrossWrap) {
+  const ThroughputTrace trace({{1.0, 100.0}, {1.0, 300.0}});
+  // Period capacity = 400 kb. 1000 kb from t=0: 2 full periods (800 kb,
+  // 4 s) + 100 kb over the 3rd period's first segment (1 s) + 100 kb at
+  // 300 kbps (1/3 s).
+  EXPECT_NEAR(trace.transfer_end_time(1000.0, 0.0), 5.0 + 1.0 / 3.0, 1e-9);
+}
+
+TEST(ThroughputTrace, TransferSkipsZeroRateSegments) {
+  const ThroughputTrace trace({{1.0, 100.0}, {2.0, 0.0}, {1.0, 100.0}});
+  // 150 kb from t=0: 100 kb in [0,1], dead air [1,3], 50 kb in [3,3.5].
+  EXPECT_NEAR(trace.transfer_end_time(150.0, 0.0), 3.5, 1e-9);
+  // Starting inside the dead zone.
+  EXPECT_NEAR(trace.transfer_end_time(50.0, 1.5), 3.5, 1e-9);
+}
+
+/// Property: transfer_end_time is the inverse of kilobits_between.
+TEST(ThroughputTrace, TransferEndTimeInvertsIntegral) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<TraceSegment> segments;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i) {
+      segments.push_back({rng.uniform(0.5, 5.0), rng.uniform(50.0, 5000.0)});
+    }
+    const ThroughputTrace trace(std::move(segments));
+    for (int q = 0; q < 10; ++q) {
+      const double start = rng.uniform(0.0, 3.0 * trace.period_s());
+      const double kb = rng.uniform(1.0, 5000.0);
+      const double end = trace.transfer_end_time(kb, start);
+      ASSERT_GT(end, start);
+      ASSERT_NEAR(trace.kilobits_between(start, end), kb, 1e-6);
+    }
+  }
+}
+
+/// Property: the integral is additive over adjacent intervals.
+TEST(ThroughputTrace, IntegralIsAdditive) {
+  util::Rng rng(32);
+  const ThroughputTrace trace(
+      {{1.5, 120.0}, {2.5, 900.0}, {0.7, 3000.0}, {3.0, 50.0}});
+  for (int trial = 0; trial < 200; ++trial) {
+    double t0 = rng.uniform(0.0, 20.0);
+    double t2 = rng.uniform(0.0, 20.0);
+    if (t0 > t2) std::swap(t0, t2);
+    const double t1 = rng.uniform(t0, t2);
+    ASSERT_NEAR(trace.kilobits_between(t0, t2),
+                trace.kilobits_between(t0, t1) + trace.kilobits_between(t1, t2),
+                1e-6);
+  }
+}
+
+TEST(ThroughputTrace, SampleAveragesIntervals) {
+  const ThroughputTrace trace({{2.0, 100.0}, {2.0, 300.0}});
+  const auto samples = trace.sample(2.0);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0], 100.0);
+  EXPECT_DOUBLE_EQ(samples[1], 300.0);
+  const auto fine = trace.sample(1.0);
+  ASSERT_EQ(fine.size(), 4u);
+  EXPECT_DOUBLE_EQ(fine[2], 300.0);
+}
+
+TEST(ThroughputTrace, SampleHandlesPartialTail) {
+  const ThroughputTrace trace({{3.0, 100.0}});
+  const auto samples = trace.sample(2.0);
+  ASSERT_EQ(samples.size(), 2u);  // [0,2) and [2,3)
+  EXPECT_DOUBLE_EQ(samples[1], 100.0);
+}
+
+TEST(ThroughputTrace, MeanAndStddev) {
+  const ThroughputTrace trace({{5.0, 100.0}, {5.0, 300.0}});
+  EXPECT_DOUBLE_EQ(trace.mean_kbps(), 200.0);
+  EXPECT_NEAR(trace.stddev_kbps(), 100.0, 1e-9);
+}
+
+TEST(ThroughputTrace, ScaledMultipliesRates) {
+  const ThroughputTrace trace({{1.0, 100.0}, {1.0, 200.0}});
+  const ThroughputTrace doubled = trace.scaled(2.0);
+  EXPECT_DOUBLE_EQ(doubled.mean_kbps(), 300.0);
+  EXPECT_DOUBLE_EQ(doubled.period_s(), trace.period_s());
+  EXPECT_DOUBLE_EQ(doubled.rate_at(0.5), 200.0);
+}
+
+}  // namespace
+}  // namespace abr::trace

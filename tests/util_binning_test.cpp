@@ -1,0 +1,107 @@
+#include "util/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace abr::util {
+namespace {
+
+TEST(LinearBinner, BasicMapping) {
+  const LinearBinner binner(0.0, 30.0, 100);
+  EXPECT_EQ(binner.bins(), 100u);
+  EXPECT_EQ(binner.bin(0.0), 0u);
+  EXPECT_EQ(binner.bin(0.15), 0u);
+  EXPECT_EQ(binner.bin(0.31), 1u);
+  EXPECT_EQ(binner.bin(29.99), 99u);
+}
+
+TEST(LinearBinner, ClampsOutOfRange) {
+  const LinearBinner binner(0.0, 30.0, 100);
+  EXPECT_EQ(binner.bin(-5.0), 0u);
+  EXPECT_EQ(binner.bin(30.0), 99u);
+  EXPECT_EQ(binner.bin(1000.0), 99u);
+}
+
+TEST(LinearBinner, CenterIsInsideBin) {
+  const LinearBinner binner(0.0, 30.0, 100);
+  for (std::size_t i = 0; i < binner.bins(); ++i) {
+    EXPECT_EQ(binner.bin(binner.center(i)), i);
+  }
+}
+
+TEST(LinearBinner, EdgesAreOrdered) {
+  const LinearBinner binner(5.0, 45.0, 8);
+  EXPECT_DOUBLE_EQ(binner.lower_edge(0), 5.0);
+  for (std::size_t i = 1; i < binner.bins(); ++i) {
+    EXPECT_GT(binner.lower_edge(i), binner.lower_edge(i - 1));
+  }
+}
+
+TEST(LinearBinner, SingleBin) {
+  const LinearBinner binner(0.0, 10.0, 1);
+  EXPECT_EQ(binner.bin(0.0), 0u);
+  EXPECT_EQ(binner.bin(9.9), 0u);
+  EXPECT_DOUBLE_EQ(binner.center(0), 5.0);
+}
+
+TEST(LogBinner, BasicMapping) {
+  const LogBinner binner(10.0, 10000.0, 3);  // decades
+  EXPECT_EQ(binner.bin(11.0), 0u);
+  EXPECT_EQ(binner.bin(150.0), 1u);
+  EXPECT_EQ(binner.bin(5000.0), 2u);
+}
+
+TEST(LogBinner, ClampsOutOfRange) {
+  const LogBinner binner(50.0, 10000.0, 100);
+  EXPECT_EQ(binner.bin(1.0), 0u);
+  EXPECT_EQ(binner.bin(50.0), 0u);
+  EXPECT_EQ(binner.bin(10000.0), 99u);
+  EXPECT_EQ(binner.bin(1e9), 99u);
+}
+
+TEST(LogBinner, CenterIsInsideBin) {
+  const LogBinner binner(50.0, 10000.0, 100);
+  for (std::size_t i = 0; i < binner.bins(); ++i) {
+    EXPECT_EQ(binner.bin(binner.center(i)), i);
+  }
+}
+
+TEST(LogBinner, ConstantRelativeWidth) {
+  const LogBinner binner(10.0, 10240.0, 10);
+  const double ratio0 = binner.lower_edge(1) / binner.lower_edge(0);
+  for (std::size_t i = 2; i < binner.bins(); ++i) {
+    const double ratio = binner.lower_edge(i) / binner.lower_edge(i - 1);
+    EXPECT_NEAR(ratio, ratio0, 1e-9);
+  }
+}
+
+TEST(LogBinner, GeometricCenter) {
+  const LogBinner binner(100.0, 10000.0, 2);
+  // First bin spans [100, 1000]; geometric center is sqrt(100 * 1000).
+  EXPECT_NEAR(binner.center(0), std::sqrt(100.0 * 1000.0), 1e-6);
+}
+
+/// Parameterized sweep: binning and center round-trip across bin counts,
+/// the structural property the FastMPC table index relies on.
+class BinnerRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BinnerRoundTrip, LinearCentersRoundTrip) {
+  const LinearBinner binner(0.0, 60.0, GetParam());
+  for (std::size_t i = 0; i < binner.bins(); ++i) {
+    EXPECT_EQ(binner.bin(binner.center(i)), i);
+  }
+}
+
+TEST_P(BinnerRoundTrip, LogCentersRoundTrip) {
+  const LogBinner binner(10.0, 20000.0, GetParam());
+  for (std::size_t i = 0; i < binner.bins(); ++i) {
+    EXPECT_EQ(binner.bin(binner.center(i)), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, BinnerRoundTrip,
+                         ::testing::Values(1, 2, 5, 10, 50, 100, 200, 500));
+
+}  // namespace
+}  // namespace abr::util

@@ -1,0 +1,94 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace abr::util {
+namespace {
+
+TEST(CsvTable, ParsesWithHeader) {
+  const auto table = CsvTable::parse("a,b\n1,2\n3,4\n", true);
+  ASSERT_EQ(table.header().size(), 2u);
+  EXPECT_EQ(table.header()[0], "a");
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_EQ(table.column_count(), 2u);
+  EXPECT_EQ(table.cell(1, 1), "4");
+  EXPECT_DOUBLE_EQ(table.number(0, 0), 1.0);
+}
+
+TEST(CsvTable, ParsesWithoutHeader) {
+  const auto table = CsvTable::parse("1,2\n3,4\n", false);
+  EXPECT_TRUE(table.header().empty());
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(CsvTable, TrimsCellsAndSkipsBlankLines) {
+  const auto table = CsvTable::parse(" x , y \n\n 1 , 2 \n\n", true);
+  EXPECT_EQ(table.header()[0], "x");
+  EXPECT_EQ(table.cell(0, 1), "2");
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(CsvTable, HandlesCrLf) {
+  const auto table = CsvTable::parse("a,b\r\n1,2\r\n", true);
+  EXPECT_EQ(table.cell(0, 1), "2");
+}
+
+TEST(CsvTable, RejectsRaggedRows) {
+  EXPECT_THROW(CsvTable::parse("a,b\n1,2,3\n", true), std::invalid_argument);
+  EXPECT_THROW(CsvTable::parse("1,2\n1\n", false), std::invalid_argument);
+}
+
+TEST(CsvTable, NumberRejectsText) {
+  const auto table = CsvTable::parse("a\nhello\n", true);
+  EXPECT_THROW(table.number(0, 0), std::invalid_argument);
+}
+
+TEST(CsvTable, ColumnIndexByName) {
+  const auto table = CsvTable::parse("x,y,z\n1,2,3\n", true);
+  EXPECT_EQ(table.column_index("y"), 1u);
+  EXPECT_THROW(table.column_index("missing"), std::out_of_range);
+}
+
+TEST(CsvTable, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::load("/nonexistent/file.csv", true),
+               std::runtime_error);
+}
+
+TEST(CsvTable, LoadRoundTripThroughFile) {
+  const auto path = std::filesystem::temp_directory_path() / "abr_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "duration_s,rate_kbps\n1.0,500\n2.0,700\n";
+  }
+  const auto table = CsvTable::load(path.string(), true);
+  EXPECT_EQ(table.row_count(), 2u);
+  EXPECT_DOUBLE_EQ(table.number(1, 1), 700.0);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"a", "b"});
+  writer.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, RoundTripsThroughParser) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.row({"h1", "h2", "h3"});
+  writer.row({"1.5", "2.5", "3.5"});
+  const auto table = CsvTable::parse(out.str(), true);
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_DOUBLE_EQ(table.number(0, 2), 3.5);
+}
+
+}  // namespace
+}  // namespace abr::util

@@ -1,0 +1,51 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace abr::util {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(visits.size(), [&](std::size_t i) { ++visits[i]; }, 4);
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadPath) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, MoreThreadsThanItems) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t i) { total += static_cast<int>(i) + 1; },
+               16);
+  EXPECT_EQ(total.load(), 6);
+}
+
+TEST(ParallelFor, ComputesCorrectAggregate) {
+  constexpr std::size_t kN = 10000;
+  std::vector<long> squares(kN);
+  parallel_for(kN, [&](std::size_t i) {
+    squares[i] = static_cast<long>(i) * static_cast<long>(i);
+  });
+  const long total = std::accumulate(squares.begin(), squares.end(), 0L);
+  // Sum of squares 0..n-1 = (n-1)n(2n-1)/6.
+  EXPECT_EQ(total, static_cast<long>(kN - 1) * static_cast<long>(kN) *
+                       static_cast<long>(2 * kN - 1) / 6);
+}
+
+}  // namespace
+}  // namespace abr::util

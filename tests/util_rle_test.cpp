@@ -1,0 +1,127 @@
+#include "util/rle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abr::util {
+namespace {
+
+TEST(Rle, EncodeKnownSequence) {
+  const std::vector<std::uint8_t> data = {1, 1, 1, 2, 3, 3};
+  const auto runs = rle_encode(data);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (RleRun{1, 3}));
+  EXPECT_EQ(runs[1], (RleRun{2, 1}));
+  EXPECT_EQ(runs[2], (RleRun{3, 2}));
+}
+
+TEST(Rle, EncodeEmpty) {
+  EXPECT_TRUE(rle_encode({}).empty());
+  EXPECT_TRUE(rle_decode({}).empty());
+}
+
+TEST(Rle, DecodeInvertsEncode) {
+  const std::vector<std::uint8_t> data = {0, 0, 5, 5, 5, 5, 1, 0, 0, 0};
+  EXPECT_EQ(rle_decode(rle_encode(data)), data);
+}
+
+TEST(Rle, RoundTripRandomSequences) {
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> data;
+    const int runs = static_cast<int>(rng.uniform_int(1, 30));
+    for (int r = 0; r < runs; ++r) {
+      const auto value = static_cast<std::uint8_t>(rng.uniform_int(0, 4));
+      const auto length = static_cast<std::size_t>(rng.uniform_int(1, 50));
+      data.insert(data.end(), length, value);
+    }
+    EXPECT_EQ(rle_decode(rle_encode(data)), data);
+  }
+}
+
+TEST(RleSequence, AtMatchesRawData) {
+  Rng rng(22);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 3)));
+  }
+  const RleSequence seq = RleSequence::from_raw(data);
+  ASSERT_EQ(seq.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(seq.at(i), data[i]) << "index " << i;
+  }
+}
+
+TEST(RleSequence, CompressesConstantData) {
+  const std::vector<std::uint8_t> data(100000, 7);
+  const RleSequence seq = RleSequence::from_raw(data);
+  EXPECT_EQ(seq.run_count(), 1u);
+  EXPECT_LT(seq.binary_size_bytes(), 32u);
+  EXPECT_EQ(seq.at(0), 7);
+  EXPECT_EQ(seq.at(99999), 7);
+}
+
+TEST(RleSequence, SerializeRoundTrip) {
+  Rng rng(23);
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 2)));
+  }
+  const RleSequence original = RleSequence::from_raw(data);
+  const RleSequence restored = RleSequence::deserialize(original.serialize());
+  EXPECT_EQ(original, restored);
+  EXPECT_EQ(restored.size(), data.size());
+  EXPECT_EQ(restored.at(500), data[500]);
+}
+
+TEST(RleSequence, DeserializeRejectsTruncatedHeader) {
+  EXPECT_THROW(RleSequence::deserialize("abc"), std::invalid_argument);
+}
+
+TEST(RleSequence, DeserializeRejectsSizeMismatch) {
+  RleSequence seq = RleSequence::from_raw(std::vector<std::uint8_t>{1, 2, 3});
+  std::string bytes = seq.serialize();
+  bytes.pop_back();
+  EXPECT_THROW(RleSequence::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(RleSequence, DeserializeRejectsZeroLengthRun) {
+  // Header says 1 run; run has length 0.
+  std::string bytes(8, '\0');
+  bytes[0] = 1;
+  bytes += std::string(5, '\0');
+  EXPECT_THROW(RleSequence::deserialize(bytes), std::invalid_argument);
+}
+
+TEST(RleSequence, JavascriptSizeModels) {
+  // 10 copies of value 3: full text "3," x10 = 20 bytes; RLE text "3,10," = 5.
+  const std::vector<std::uint8_t> data(10, 3);
+  const RleSequence seq = RleSequence::from_raw(data);
+  EXPECT_EQ(seq.javascript_full_table_size_bytes(), 20u);
+  EXPECT_EQ(seq.javascript_text_size_bytes(), 5u);
+}
+
+TEST(RleSequence, RleTextSmallerThanFullForRunnyData) {
+  std::vector<std::uint8_t> data;
+  for (int block = 0; block < 50; ++block) {
+    data.insert(data.end(), 100, static_cast<std::uint8_t>(block % 4));
+  }
+  const RleSequence seq = RleSequence::from_raw(data);
+  EXPECT_LT(seq.javascript_text_size_bytes(),
+            seq.javascript_full_table_size_bytes() / 10);
+}
+
+TEST(RleSequence, EmptySequence) {
+  const RleSequence seq = RleSequence::from_raw({});
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_EQ(seq.run_count(), 0u);
+  const RleSequence restored = RleSequence::deserialize(seq.serialize());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+}  // namespace
+}  // namespace abr::util

@@ -1,0 +1,165 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace abr::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NearbySeedsUncorrelated) {
+  // splitmix64 seeding should decorrelate consecutive seeds.
+  Rng a(7);
+  Rng b(8);
+  EXPECT_NE(a(), b());
+  EXPECT_NE(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(100.0, 250.0);
+    EXPECT_GE(u, 100.0);
+    EXPECT_LT(u, 250.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  std::array<int, 6> counts{};
+  for (int i = 0; i < 60000; ++i) {
+    const auto v = rng.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 10000, 600);  // ~5 sigma
+  }
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaledMoments) {
+  Rng rng(9);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(50.0, 10.0);
+  EXPECT_NEAR(sum / n, 50.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(10);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.exponential(4.0);
+    ASSERT_GE(e, 0.0);
+    sum += e;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(11);
+  const std::array<double, 3> weights = {1.0, 2.0, 7.0};
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.weighted_index(weights.data(), weights.size())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.015);
+}
+
+TEST(Rng, WeightedIndexZeroWeightNeverPicked) {
+  Rng rng(12);
+  const std::array<double, 3> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights.data(), weights.size()), 1u);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.split();
+  // Child diverges from parent.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(14);
+  Rng b(14);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(15);
+  std::vector<int> values = {1, 2, 3, 4, 5};
+  std::shuffle(values.begin(), values.end(), rng);  // must compile and run
+  EXPECT_EQ(values.size(), 5u);
+}
+
+}  // namespace
+}  // namespace abr::util

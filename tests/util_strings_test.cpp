@@ -1,0 +1,98 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace abr::util {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  const auto fields = split("a,,b", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+}
+
+TEST(Split, SingleField) {
+  const auto fields = split("hello", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "hello");
+}
+
+TEST(Split, TrailingDelimiter) {
+  const auto fields = split("a,b,", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(Split, EmptyInput) {
+  const auto fields = split("", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\r\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("abc", "abcd"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("HTTP/1.1", "HTTP/1."));
+  EXPECT_TRUE(starts_with("abc", ""));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+}
+
+TEST(ParseDouble, ValidNumbers) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("3.25", v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(parse_double(" -1e3 ", v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_TRUE(parse_double("42", v));
+  EXPECT_DOUBLE_EQ(v, 42.0);
+}
+
+TEST(ParseDouble, RejectsMalformed) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double("abc", v));
+  EXPECT_FALSE(parse_double("1.5x", v));
+  EXPECT_FALSE(parse_double("1.5 2.5", v));
+}
+
+TEST(ParseSize, ValidAndInvalid) {
+  std::size_t v = 0;
+  EXPECT_TRUE(parse_size("12345", v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_TRUE(parse_size(" 7 ", v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(parse_size("-3", v));
+  EXPECT_FALSE(parse_size("3.5", v));
+  EXPECT_FALSE(parse_size("", v));
+  // Overflow of a 64-bit size_t.
+  EXPECT_FALSE(parse_size("99999999999999999999999999", v));
+}
+
+TEST(ToLower, Basics) {
+  EXPECT_EQ(to_lower("HeLLo-123"), "hello-123");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+}  // namespace
+}  // namespace abr::util

@@ -1,0 +1,101 @@
+#include "util/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace abr::util {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const auto root = xml_parse("<root/>");
+  EXPECT_EQ(root->name, "root");
+  EXPECT_TRUE(root->children.empty());
+  EXPECT_TRUE(root->attributes.empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto root = xml_parse(R"(<a x="1" y='two'/>)");
+  ASSERT_EQ(root->attributes.size(), 2u);
+  EXPECT_EQ(*root->attribute("x"), "1");
+  EXPECT_EQ(*root->attribute("y"), "two");
+  EXPECT_EQ(root->attribute("z"), nullptr);
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const auto root = xml_parse("<a><b/><c><d/></c><b/></a>");
+  EXPECT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(root->children_named("b").size(), 2u);
+  ASSERT_NE(root->child("c"), nullptr);
+  EXPECT_NE(root->child("c")->child("d"), nullptr);
+}
+
+TEST(Xml, ParsesTextContent) {
+  const auto root = xml_parse("<a> hello world </a>");
+  EXPECT_EQ(root->text, "hello world");
+}
+
+TEST(Xml, DecodesEntities) {
+  const auto root = xml_parse(R"(<a v="&lt;&amp;&gt;">&quot;x&apos;</a>)");
+  EXPECT_EQ(*root->attribute("v"), "<&>");
+  EXPECT_EQ(root->text, "\"x'");
+}
+
+TEST(Xml, SkipsDeclarationAndComments) {
+  const auto root = xml_parse(
+      "<?xml version=\"1.0\"?>\n<!-- top comment -->\n"
+      "<a><!-- inner --><b/></a>");
+  EXPECT_EQ(root->name, "a");
+  EXPECT_EQ(root->children.size(), 1u);
+}
+
+TEST(Xml, RejectsMismatchedTags) {
+  EXPECT_THROW(xml_parse("<a><b></a></b>"), std::invalid_argument);
+}
+
+TEST(Xml, RejectsUnterminatedElement) {
+  EXPECT_THROW(xml_parse("<a><b>"), std::invalid_argument);
+}
+
+TEST(Xml, RejectsTrailingContent) {
+  EXPECT_THROW(xml_parse("<a/><b/>"), std::invalid_argument);
+}
+
+TEST(Xml, RejectsUnknownEntity) {
+  EXPECT_THROW(xml_parse("<a>&unknown;</a>"), std::invalid_argument);
+}
+
+TEST(Xml, RejectsUnterminatedComment) {
+  EXPECT_THROW(xml_parse("<!-- never closed"), std::invalid_argument);
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("<a href=\"x&y\">'hi'</a>"),
+            "&lt;a href=&quot;x&amp;y&quot;&gt;&apos;hi&apos;&lt;/a&gt;");
+}
+
+TEST(Xml, SerializeParsesBack) {
+  const auto root = xml_parse(
+      R"(<MPD type="static"><Period><AdaptationSet mimeType="video/mp4">)"
+      R"(<Representation id="0" bandwidth="350000">sizes</Representation>)"
+      R"(</AdaptationSet></Period></MPD>)");
+  const std::string text = root->serialize();
+  const auto reparsed = xml_parse(text);
+  EXPECT_EQ(reparsed->name, "MPD");
+  const auto* rep =
+      reparsed->child("Period")->child("AdaptationSet")->child("Representation");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(*rep->attribute("bandwidth"), "350000");
+  EXPECT_EQ(rep->text, "sizes");
+}
+
+TEST(Xml, SerializeEscapesAttributeValues) {
+  XmlElement el;
+  el.name = "a";
+  el.attributes.emplace_back("v", "x<y&z");
+  const auto reparsed = xml_parse(el.serialize());
+  EXPECT_EQ(*reparsed->attribute("v"), "x<y&z");
+}
+
+}  // namespace
+}  // namespace abr::util

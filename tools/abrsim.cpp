@@ -1,0 +1,217 @@
+// abrsim — run one adaptive-streaming session from the command line.
+//
+// Simulates any of the library's algorithms over a throughput trace (a CSV
+// file or a generated synthetic trace) and prints a session summary, the
+// offline-optimal comparison, and optionally the full per-chunk log as CSV.
+//
+// Examples:
+//   abrsim --algorithm robustmpc --dataset hsdpa --index 3
+//   abrsim --algorithm bb --trace mytrace.csv --manifest video.mpd
+//   abrsim --algorithm fastmpc --dataset fcc --chunk-log
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "core/offline_optimal.hpp"
+#include "media/mpd.hpp"
+#include "sim/player.hpp"
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+using namespace abr;
+
+namespace {
+
+struct Options {
+  std::string algorithm = "robustmpc";
+  std::string trace_path;
+  std::string dataset = "hsdpa";
+  std::size_t index = 0;
+  std::uint64_t seed = 20150817;
+  double duration_s = 320.0;
+  std::string manifest_path;
+  std::string preference = "balanced";
+  double buffer_s = 30.0;
+  std::size_t horizon = 5;
+  bool chunk_log = false;
+  bool skip_optimal = false;
+};
+
+void usage() {
+  std::puts(
+      "usage: abrsim [options]\n"
+      "  --algorithm rb|bb|festive|dashjs|mpc|robustmpc|fastmpc|mpcopt\n"
+      "  --trace FILE.csv          throughput trace (duration_s,rate_kbps)\n"
+      "  --dataset fcc|hsdpa|markov  synthesize instead (default hsdpa)\n"
+      "  --index N                 trace index within the dataset\n"
+      "  --seed S --duration D     dataset generation parameters\n"
+      "  --manifest FILE.mpd       video manifest (default: Envivio test video)\n"
+      "  --preference balanced|instability|rebuffering   QoE weights\n"
+      "  --buffer SECONDS          playout buffer Bmax (default 30)\n"
+      "  --horizon N               MPC look-ahead (default 5)\n"
+      "  --chunk-log               print the per-chunk log as CSV\n"
+      "  --no-optimal              skip the offline-optimal comparison");
+}
+
+std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "rb") return core::Algorithm::kRateBased;
+  if (lower == "bb") return core::Algorithm::kBufferBased;
+  if (lower == "festive") return core::Algorithm::kFestive;
+  if (lower == "dashjs" || lower == "dash.js") return core::Algorithm::kDashJs;
+  if (lower == "mpc") return core::Algorithm::kMpc;
+  if (lower == "robustmpc") return core::Algorithm::kRobustMpc;
+  if (lower == "fastmpc") return core::Algorithm::kFastMpc;
+  if (lower == "mpcopt" || lower == "mpc-opt") return core::Algorithm::kMpcOpt;
+  return std::nullopt;
+}
+
+std::optional<qoe::QoePreference> parse_preference(std::string_view name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "balanced") return qoe::QoePreference::kBalanced;
+  if (lower == "instability") return qoe::QoePreference::kAvoidInstability;
+  if (lower == "rebuffering") return qoe::QoePreference::kAvoidRebuffering;
+  return std::nullopt;
+}
+
+bool parse_args(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--algorithm") options.algorithm = value();
+    else if (arg == "--trace") options.trace_path = value();
+    else if (arg == "--dataset") options.dataset = value();
+    else if (arg == "--index") options.index = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--seed") options.seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--duration") options.duration_s = std::atof(value());
+    else if (arg == "--manifest") options.manifest_path = value();
+    else if (arg == "--preference") options.preference = value();
+    else if (arg == "--buffer") options.buffer_s = std::atof(value());
+    else if (arg == "--horizon")
+      options.horizon = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--chunk-log") options.chunk_log = true;
+    else if (arg == "--no-optimal") options.skip_optimal = true;
+    else if (arg == "--help") { usage(); std::exit(0); }
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_args(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+
+  const auto algorithm = parse_algorithm(options.algorithm);
+  if (!algorithm.has_value()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", options.algorithm.c_str());
+    return 2;
+  }
+  const auto preference = parse_preference(options.preference);
+  if (!preference.has_value()) {
+    std::fprintf(stderr, "unknown preference '%s'\n", options.preference.c_str());
+    return 2;
+  }
+
+  // Load or synthesize the trace.
+  trace::ThroughputTrace session_trace = trace::ThroughputTrace::constant(1.0, 1.0);
+  if (!options.trace_path.empty()) {
+    session_trace = trace::load_csv(options.trace_path);
+  } else {
+    trace::DatasetKind kind = trace::DatasetKind::kHsdpa;
+    const std::string lower = util::to_lower(options.dataset);
+    if (lower == "fcc") kind = trace::DatasetKind::kFcc;
+    else if (lower == "hsdpa") kind = trace::DatasetKind::kHsdpa;
+    else if (lower == "markov" || lower == "synthetic")
+      kind = trace::DatasetKind::kMarkov;
+    else {
+      std::fprintf(stderr, "unknown dataset '%s'\n", options.dataset.c_str());
+      return 2;
+    }
+    auto traces = trace::make_dataset(kind, options.index + 1,
+                                      options.duration_s, options.seed);
+    session_trace = std::move(traces.back());
+  }
+
+  // Load or default the manifest.
+  media::VideoManifest manifest = media::VideoManifest::envivio_default();
+  if (!options.manifest_path.empty()) {
+    std::ifstream in(options.manifest_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", options.manifest_path.c_str());
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    manifest = media::from_mpd(buffer.str());
+  }
+
+  const qoe::QoeModel model(media::QualityFunction::identity(),
+                            qoe::preset_weights(*preference));
+  sim::SessionConfig session;
+  session.buffer_capacity_s = options.buffer_s;
+
+  core::AlgorithmOptions algo_options;
+  algo_options.buffer_capacity_s = options.buffer_s;
+  algo_options.mpc_horizon = options.horizon;
+  auto instance = core::make_algorithm(*algorithm, manifest, model, algo_options);
+
+  const sim::SessionResult result =
+      sim::simulate(session_trace, manifest, model, session,
+                    *instance.controller, *instance.predictor);
+
+  std::printf("trace:     %s (mean %.0f kbps, stddev %.0f kbps)\n",
+              session_trace.name().empty() ? "(unnamed)"
+                                           : session_trace.name().c_str(),
+              session_trace.mean_kbps(), session_trace.stddev_kbps());
+  std::printf("video:     %zu chunks x %.0f s, ladder %.0f-%.0f kbps\n",
+              manifest.chunk_count(), manifest.chunk_duration_s(),
+              manifest.bitrates_kbps().front(), manifest.bitrates_kbps().back());
+  std::printf("algorithm: %s (%s weights)\n",
+              core::algorithm_name(*algorithm),
+              qoe::preference_name(*preference));
+  std::printf("\nQoE:              %.0f\n", result.qoe);
+  std::printf("average bitrate:  %.0f kbps\n", result.average_bitrate_kbps);
+  std::printf("bitrate change:   %.0f kbps/chunk\n",
+              result.average_bitrate_change_kbps);
+  std::printf("switches:         %zu\n", result.switch_count);
+  std::printf("rebuffering:      %.2f s\n", result.total_rebuffer_s);
+  std::printf("startup delay:    %.2f s\n", result.startup_delay_s);
+
+  if (!options.skip_optimal) {
+    const core::OfflineOptimalPlanner planner(manifest, model, session);
+    const double optimal = planner.plan(session_trace).qoe;
+    std::printf("offline optimal:  %.0f  (normalized QoE %.3f)\n", optimal,
+                core::normalized_qoe(result.qoe, optimal));
+  }
+
+  if (options.chunk_log) {
+    std::printf("\nchunk,level,bitrate_kbps,start_s,download_s,throughput_kbps,"
+                "buffer_after_s,rebuffer_s,wait_s\n");
+    for (const sim::ChunkRecord& r : result.chunks) {
+      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f\n", r.index,
+                  r.level, r.bitrate_kbps, r.start_s, r.download_s,
+                  r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s);
+    }
+  }
+  return 0;
+}

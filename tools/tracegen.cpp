@@ -1,0 +1,72 @@
+// tracegen — synthesize throughput trace datasets to CSV files.
+//
+// Generates the FCC-like / HSDPA-like / Markov datasets used by the benches
+// (see DESIGN.md for how each matches its measured counterpart) so they can
+// be inspected, plotted, or replayed through abrsim / the ChunkServer.
+//
+// Example:
+//   tracegen --kind hsdpa --count 100 --duration 320 --seed 7 --out traces/
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "trace/generators.hpp"
+#include "trace/trace_io.hpp"
+#include "util/strings.hpp"
+
+using namespace abr;
+
+int main(int argc, char** argv) {
+  std::string kind_name = "hsdpa";
+  std::size_t count = 10;
+  double duration_s = 320.0;
+  std::uint64_t seed = 20150817;
+  std::string out_dir = "traces";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--kind") kind_name = value();
+    else if (arg == "--count") count = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--duration") duration_s = std::atof(value());
+    else if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--out") out_dir = value();
+    else if (arg == "--help") {
+      std::puts(
+          "usage: tracegen --kind fcc|hsdpa|markov --count N --duration D "
+          "--seed S --out DIR");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  trace::DatasetKind kind;
+  const std::string lower = util::to_lower(kind_name);
+  if (lower == "fcc") kind = trace::DatasetKind::kFcc;
+  else if (lower == "hsdpa") kind = trace::DatasetKind::kHsdpa;
+  else if (lower == "markov" || lower == "synthetic")
+    kind = trace::DatasetKind::kMarkov;
+  else {
+    std::fprintf(stderr, "unknown kind '%s'\n", kind_name.c_str());
+    return 2;
+  }
+
+  const auto traces = trace::make_dataset(kind, count, duration_s, seed);
+  trace::save_dataset(traces, out_dir, lower);
+
+  double mean_sum = 0.0;
+  for (const auto& trace : traces) mean_sum += trace.mean_kbps();
+  std::printf("wrote %zu %s traces (%.0f s each, mean of means %.0f kbps) to %s/\n",
+              traces.size(), trace::dataset_name(kind), duration_s,
+              mean_sum / static_cast<double>(traces.size()), out_dir.c_str());
+  return 0;
+}
