@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_beam.dir/ablation_beam.cpp.o"
+  "CMakeFiles/ablation_beam.dir/ablation_beam.cpp.o.d"
+  "ablation_beam"
+  "ablation_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_error_window.dir/ablation_error_window.cpp.o"
+  "CMakeFiles/ablation_error_window.dir/ablation_error_window.cpp.o.d"
+  "ablation_error_window"
+  "ablation_error_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_error_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mdp.dir/ablation_mdp.cpp.o"
+  "CMakeFiles/ablation_mdp.dir/ablation_mdp.cpp.o.d"
+  "ablation_mdp"
+  "ablation_mdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

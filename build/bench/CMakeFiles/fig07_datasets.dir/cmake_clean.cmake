@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_datasets.dir/fig07_datasets.cpp.o"
+  "CMakeFiles/fig07_datasets.dir/fig07_datasets.cpp.o.d"
+  "fig07_datasets"
+  "fig07_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

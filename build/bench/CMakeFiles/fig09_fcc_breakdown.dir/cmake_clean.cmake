@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_fcc_breakdown.dir/fig09_fcc_breakdown.cpp.o"
+  "CMakeFiles/fig09_fcc_breakdown.dir/fig09_fcc_breakdown.cpp.o.d"
+  "fig09_fcc_breakdown"
+  "fig09_fcc_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fcc_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_prediction_error.dir/fig11a_prediction_error.cpp.o"
+  "CMakeFiles/fig11a_prediction_error.dir/fig11a_prediction_error.cpp.o.d"
+  "fig11a_prediction_error"
+  "fig11a_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_qoe_preferences.dir/fig11b_qoe_preferences.cpp.o"
+  "CMakeFiles/fig11b_qoe_preferences.dir/fig11b_qoe_preferences.cpp.o.d"
+  "fig11b_qoe_preferences"
+  "fig11b_qoe_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_qoe_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

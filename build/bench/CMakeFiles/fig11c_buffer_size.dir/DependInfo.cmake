@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11c_buffer_size.cpp" "bench/CMakeFiles/fig11c_buffer_size.dir/fig11c_buffer_size.cpp.o" "gcc" "bench/CMakeFiles/fig11c_buffer_size.dir/fig11c_buffer_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/abr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/abr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/abr_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/abr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11c_buffer_size.dir/fig11c_buffer_size.cpp.o"
+  "CMakeFiles/fig11c_buffer_size.dir/fig11c_buffer_size.cpp.o.d"
+  "fig11c_buffer_size"
+  "fig11c_buffer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11c_buffer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

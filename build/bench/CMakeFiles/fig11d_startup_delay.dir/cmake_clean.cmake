@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11d_startup_delay.dir/fig11d_startup_delay.cpp.o"
+  "CMakeFiles/fig11d_startup_delay.dir/fig11d_startup_delay.cpp.o.d"
+  "fig11d_startup_delay"
+  "fig11d_startup_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11d_startup_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_discretization.dir/fig12a_discretization.cpp.o"
+  "CMakeFiles/fig12a_discretization.dir/fig12a_discretization.cpp.o.d"
+  "fig12a_discretization"
+  "fig12a_discretization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_discretization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

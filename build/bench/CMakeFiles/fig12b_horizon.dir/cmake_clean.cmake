@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_horizon.dir/fig12b_horizon.cpp.o"
+  "CMakeFiles/fig12b_horizon.dir/fig12b_horizon.cpp.o.d"
+  "fig12b_horizon"
+  "fig12b_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_bitrate_levels.dir/x_bitrate_levels.cpp.o"
+  "CMakeFiles/x_bitrate_levels.dir/x_bitrate_levels.cpp.o.d"
+  "x_bitrate_levels"
+  "x_bitrate_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_bitrate_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

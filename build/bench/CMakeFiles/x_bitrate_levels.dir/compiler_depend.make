@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for x_bitrate_levels.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_multiplayer.dir/x_multiplayer.cpp.o"
+  "CMakeFiles/x_multiplayer.dir/x_multiplayer.cpp.o.d"
+  "x_multiplayer"
+  "x_multiplayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_multiplayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

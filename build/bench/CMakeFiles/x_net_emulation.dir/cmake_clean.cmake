@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_net_emulation.dir/x_net_emulation.cpp.o"
+  "CMakeFiles/x_net_emulation.dir/x_net_emulation.cpp.o.d"
+  "x_net_emulation"
+  "x_net_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_net_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_vbr.dir/x_vbr.cpp.o"
+  "CMakeFiles/x_vbr.dir/x_vbr.cpp.o.d"
+  "x_vbr"
+  "x_vbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_vbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fastmpc_table_tool.dir/fastmpc_table_tool.cpp.o"
+  "CMakeFiles/fastmpc_table_tool.dir/fastmpc_table_tool.cpp.o.d"
+  "fastmpc_table_tool"
+  "fastmpc_table_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fastmpc_table_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

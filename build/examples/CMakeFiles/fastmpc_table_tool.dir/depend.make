@@ -1,0 +1,2 @@
+# Empty dependencies file for fastmpc_table_tool.
+# This may be replaced when dependencies are built.

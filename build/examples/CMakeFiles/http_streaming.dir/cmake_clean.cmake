@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_streaming.dir/http_streaming.cpp.o"
+  "CMakeFiles/http_streaming.dir/http_streaming.cpp.o.d"
+  "http_streaming"
+  "http_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

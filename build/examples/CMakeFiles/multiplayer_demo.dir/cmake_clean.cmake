@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplayer_demo.dir/multiplayer_demo.cpp.o"
+  "CMakeFiles/multiplayer_demo.dir/multiplayer_demo.cpp.o.d"
+  "multiplayer_demo"
+  "multiplayer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplayer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

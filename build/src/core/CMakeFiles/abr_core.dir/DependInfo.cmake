@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithms.cpp" "src/core/CMakeFiles/abr_core.dir/algorithms.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/algorithms.cpp.o.d"
+  "/root/repo/src/core/buffer_based.cpp" "src/core/CMakeFiles/abr_core.dir/buffer_based.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/buffer_based.cpp.o.d"
+  "/root/repo/src/core/dashjs_rules.cpp" "src/core/CMakeFiles/abr_core.dir/dashjs_rules.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/dashjs_rules.cpp.o.d"
+  "/root/repo/src/core/fastmpc_table.cpp" "src/core/CMakeFiles/abr_core.dir/fastmpc_table.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/fastmpc_table.cpp.o.d"
+  "/root/repo/src/core/festive.cpp" "src/core/CMakeFiles/abr_core.dir/festive.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/festive.cpp.o.d"
+  "/root/repo/src/core/horizon_solver.cpp" "src/core/CMakeFiles/abr_core.dir/horizon_solver.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/horizon_solver.cpp.o.d"
+  "/root/repo/src/core/mdp_controller.cpp" "src/core/CMakeFiles/abr_core.dir/mdp_controller.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/mdp_controller.cpp.o.d"
+  "/root/repo/src/core/mpc_controller.cpp" "src/core/CMakeFiles/abr_core.dir/mpc_controller.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/mpc_controller.cpp.o.d"
+  "/root/repo/src/core/offline_optimal.cpp" "src/core/CMakeFiles/abr_core.dir/offline_optimal.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/offline_optimal.cpp.o.d"
+  "/root/repo/src/core/rate_based.cpp" "src/core/CMakeFiles/abr_core.dir/rate_based.cpp.o" "gcc" "src/core/CMakeFiles/abr_core.dir/rate_based.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/abr_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/abr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/abr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

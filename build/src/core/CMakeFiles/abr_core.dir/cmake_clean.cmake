@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_core.dir/algorithms.cpp.o"
+  "CMakeFiles/abr_core.dir/algorithms.cpp.o.d"
+  "CMakeFiles/abr_core.dir/buffer_based.cpp.o"
+  "CMakeFiles/abr_core.dir/buffer_based.cpp.o.d"
+  "CMakeFiles/abr_core.dir/dashjs_rules.cpp.o"
+  "CMakeFiles/abr_core.dir/dashjs_rules.cpp.o.d"
+  "CMakeFiles/abr_core.dir/fastmpc_table.cpp.o"
+  "CMakeFiles/abr_core.dir/fastmpc_table.cpp.o.d"
+  "CMakeFiles/abr_core.dir/festive.cpp.o"
+  "CMakeFiles/abr_core.dir/festive.cpp.o.d"
+  "CMakeFiles/abr_core.dir/horizon_solver.cpp.o"
+  "CMakeFiles/abr_core.dir/horizon_solver.cpp.o.d"
+  "CMakeFiles/abr_core.dir/mdp_controller.cpp.o"
+  "CMakeFiles/abr_core.dir/mdp_controller.cpp.o.d"
+  "CMakeFiles/abr_core.dir/mpc_controller.cpp.o"
+  "CMakeFiles/abr_core.dir/mpc_controller.cpp.o.d"
+  "CMakeFiles/abr_core.dir/offline_optimal.cpp.o"
+  "CMakeFiles/abr_core.dir/offline_optimal.cpp.o.d"
+  "CMakeFiles/abr_core.dir/rate_based.cpp.o"
+  "CMakeFiles/abr_core.dir/rate_based.cpp.o.d"
+  "libabr_core.a"
+  "libabr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

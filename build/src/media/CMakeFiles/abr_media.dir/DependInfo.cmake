@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/manifest.cpp" "src/media/CMakeFiles/abr_media.dir/manifest.cpp.o" "gcc" "src/media/CMakeFiles/abr_media.dir/manifest.cpp.o.d"
+  "/root/repo/src/media/mpd.cpp" "src/media/CMakeFiles/abr_media.dir/mpd.cpp.o" "gcc" "src/media/CMakeFiles/abr_media.dir/mpd.cpp.o.d"
+  "/root/repo/src/media/quality.cpp" "src/media/CMakeFiles/abr_media.dir/quality.cpp.o" "gcc" "src/media/CMakeFiles/abr_media.dir/quality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_media.dir/manifest.cpp.o"
+  "CMakeFiles/abr_media.dir/manifest.cpp.o.d"
+  "CMakeFiles/abr_media.dir/mpd.cpp.o"
+  "CMakeFiles/abr_media.dir/mpd.cpp.o.d"
+  "CMakeFiles/abr_media.dir/quality.cpp.o"
+  "CMakeFiles/abr_media.dir/quality.cpp.o.d"
+  "libabr_media.a"
+  "libabr_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

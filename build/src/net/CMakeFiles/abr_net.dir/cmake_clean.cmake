@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_net.dir/chunk_server.cpp.o"
+  "CMakeFiles/abr_net.dir/chunk_server.cpp.o.d"
+  "CMakeFiles/abr_net.dir/http.cpp.o"
+  "CMakeFiles/abr_net.dir/http.cpp.o.d"
+  "CMakeFiles/abr_net.dir/shaper.cpp.o"
+  "CMakeFiles/abr_net.dir/shaper.cpp.o.d"
+  "CMakeFiles/abr_net.dir/socket.cpp.o"
+  "CMakeFiles/abr_net.dir/socket.cpp.o.d"
+  "CMakeFiles/abr_net.dir/streaming_client.cpp.o"
+  "CMakeFiles/abr_net.dir/streaming_client.cpp.o.d"
+  "libabr_net.a"
+  "libabr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

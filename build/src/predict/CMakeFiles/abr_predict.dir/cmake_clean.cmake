@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_predict.dir/error_tracker.cpp.o"
+  "CMakeFiles/abr_predict.dir/error_tracker.cpp.o.d"
+  "CMakeFiles/abr_predict.dir/predictor.cpp.o"
+  "CMakeFiles/abr_predict.dir/predictor.cpp.o.d"
+  "libabr_predict.a"
+  "libabr_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_qoe.dir/qoe.cpp.o"
+  "CMakeFiles/abr_qoe.dir/qoe.cpp.o.d"
+  "libabr_qoe.a"
+  "libabr_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_sim.dir/chunk_source.cpp.o"
+  "CMakeFiles/abr_sim.dir/chunk_source.cpp.o.d"
+  "CMakeFiles/abr_sim.dir/multiplayer.cpp.o"
+  "CMakeFiles/abr_sim.dir/multiplayer.cpp.o.d"
+  "CMakeFiles/abr_sim.dir/player.cpp.o"
+  "CMakeFiles/abr_sim.dir/player.cpp.o.d"
+  "libabr_sim.a"
+  "libabr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_trace.dir/generators.cpp.o"
+  "CMakeFiles/abr_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/abr_trace.dir/throughput_trace.cpp.o"
+  "CMakeFiles/abr_trace.dir/throughput_trace.cpp.o.d"
+  "CMakeFiles/abr_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/abr_trace.dir/trace_io.cpp.o.d"
+  "libabr_trace.a"
+  "libabr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

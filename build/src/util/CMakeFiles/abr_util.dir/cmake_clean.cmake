@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_util.dir/binning.cpp.o"
+  "CMakeFiles/abr_util.dir/binning.cpp.o.d"
+  "CMakeFiles/abr_util.dir/csv.cpp.o"
+  "CMakeFiles/abr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/abr_util.dir/rle.cpp.o"
+  "CMakeFiles/abr_util.dir/rle.cpp.o.d"
+  "CMakeFiles/abr_util.dir/rng.cpp.o"
+  "CMakeFiles/abr_util.dir/rng.cpp.o.d"
+  "CMakeFiles/abr_util.dir/stats.cpp.o"
+  "CMakeFiles/abr_util.dir/stats.cpp.o.d"
+  "CMakeFiles/abr_util.dir/strings.cpp.o"
+  "CMakeFiles/abr_util.dir/strings.cpp.o.d"
+  "CMakeFiles/abr_util.dir/xml.cpp.o"
+  "CMakeFiles/abr_util.dir/xml.cpp.o.d"
+  "libabr_util.a"
+  "libabr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

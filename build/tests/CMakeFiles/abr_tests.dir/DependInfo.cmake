@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algorithms_test.cpp" "tests/CMakeFiles/abr_tests.dir/algorithms_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/algorithms_test.cpp.o.d"
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/abr_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/fastmpc_test.cpp" "tests/CMakeFiles/abr_tests.dir/fastmpc_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/fastmpc_test.cpp.o.d"
+  "/root/repo/tests/horizon_solver_test.cpp" "tests/CMakeFiles/abr_tests.dir/horizon_solver_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/horizon_solver_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/abr_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mdp_controller_test.cpp" "tests/CMakeFiles/abr_tests.dir/mdp_controller_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/mdp_controller_test.cpp.o.d"
+  "/root/repo/tests/media_test.cpp" "tests/CMakeFiles/abr_tests.dir/media_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/media_test.cpp.o.d"
+  "/root/repo/tests/mpc_controller_test.cpp" "tests/CMakeFiles/abr_tests.dir/mpc_controller_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/mpc_controller_test.cpp.o.d"
+  "/root/repo/tests/mpd_test.cpp" "tests/CMakeFiles/abr_tests.dir/mpd_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/mpd_test.cpp.o.d"
+  "/root/repo/tests/multiplayer_test.cpp" "tests/CMakeFiles/abr_tests.dir/multiplayer_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/multiplayer_test.cpp.o.d"
+  "/root/repo/tests/net_emulation_test.cpp" "tests/CMakeFiles/abr_tests.dir/net_emulation_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/net_emulation_test.cpp.o.d"
+  "/root/repo/tests/net_http_test.cpp" "tests/CMakeFiles/abr_tests.dir/net_http_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/net_http_test.cpp.o.d"
+  "/root/repo/tests/net_shaper_test.cpp" "tests/CMakeFiles/abr_tests.dir/net_shaper_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/net_shaper_test.cpp.o.d"
+  "/root/repo/tests/net_socket_test.cpp" "tests/CMakeFiles/abr_tests.dir/net_socket_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/net_socket_test.cpp.o.d"
+  "/root/repo/tests/offline_optimal_test.cpp" "tests/CMakeFiles/abr_tests.dir/offline_optimal_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/offline_optimal_test.cpp.o.d"
+  "/root/repo/tests/predict_test.cpp" "tests/CMakeFiles/abr_tests.dir/predict_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/predict_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/abr_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/qoe_test.cpp" "tests/CMakeFiles/abr_tests.dir/qoe_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/qoe_test.cpp.o.d"
+  "/root/repo/tests/sim_player_test.cpp" "tests/CMakeFiles/abr_tests.dir/sim_player_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/sim_player_test.cpp.o.d"
+  "/root/repo/tests/tools_test.cpp" "tests/CMakeFiles/abr_tests.dir/tools_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/tools_test.cpp.o.d"
+  "/root/repo/tests/trace_generators_test.cpp" "tests/CMakeFiles/abr_tests.dir/trace_generators_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/trace_generators_test.cpp.o.d"
+  "/root/repo/tests/trace_io_test.cpp" "tests/CMakeFiles/abr_tests.dir/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/trace_io_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/abr_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_binning_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_binning_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_binning_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_parallel_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_parallel_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_parallel_test.cpp.o.d"
+  "/root/repo/tests/util_rle_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_rle_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_rle_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/util_xml_test.cpp" "tests/CMakeFiles/abr_tests.dir/util_xml_test.cpp.o" "gcc" "tests/CMakeFiles/abr_tests.dir/util_xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/abr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/abr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/abr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/qoe/CMakeFiles/abr_qoe.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/abr_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/abr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/abr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abrsim.dir/abrsim.cpp.o"
+  "CMakeFiles/abrsim.dir/abrsim.cpp.o.d"
+  "abrsim"
+  "abrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
