@@ -4,6 +4,11 @@
 // search), online MPC costs orders of magnitude more (the full horizon
 // solve), and the 100x100x5 table is tens of kB compressed (the paper
 // reports ~60 kB extra memory).
+//
+// Also benchmarks the obs/ layer itself: every BM_Decision_* runs with the
+// global metrics registry disabled (the library default), the
+// *_Instrumented variants enable it, and the BM_Obs_* group prices the
+// primitives — so the cost of observability is itself observable.
 #include <benchmark/benchmark.h>
 
 #include "core/algorithms.hpp"
@@ -14,12 +19,24 @@
 #include "core/mpc_controller.hpp"
 #include "core/rate_based.hpp"
 #include "media/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "qoe/qoe.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace abr;
+
+/// Turns the global registry on for one benchmark's scope.
+class ScopedMetricsEnabled {
+ public:
+  ScopedMetricsEnabled() { obs::MetricsRegistry::global().set_enabled(true); }
+  ~ScopedMetricsEnabled() {
+    obs::MetricsRegistry::global().set_enabled(false);
+  }
+};
 
 const media::VideoManifest& manifest() {
   static const media::VideoManifest m = media::VideoManifest::envivio_default();
@@ -111,6 +128,107 @@ void BM_Decision_DashJs(benchmark::State& state) {
       state, [] { return std::make_unique<core::DashJsRulesController>(); });
 }
 BENCHMARK(BM_Decision_DashJs);
+
+// --- Instrumented variants: same decision loops with metrics enabled, so
+// --- the delta against the baseline BM_Decision_* is the live cost of the
+// --- obs layer on each hot path.
+
+void BM_Decision_FastMPC_Instrumented(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  run_decision_bench(state, [] {
+    return std::make_unique<core::FastMpcController>(shared_table());
+  });
+}
+BENCHMARK(BM_Decision_FastMPC_Instrumented);
+
+void BM_Decision_OnlineMPC_Instrumented(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  run_decision_bench(state, [] {
+    return std::make_unique<core::MpcController>(manifest(), qoe_model(),
+                                                 core::MpcConfig{});
+  });
+}
+BENCHMARK(BM_Decision_OnlineMPC_Instrumented);
+
+void BM_Decision_RobustMPC_Instrumented(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  run_decision_bench(state, [] {
+    core::MpcConfig config;
+    config.robust = true;
+    return std::make_unique<core::MpcController>(manifest(), qoe_model(),
+                                                 config);
+  });
+}
+BENCHMARK(BM_Decision_RobustMPC_Instrumented);
+
+// --- Primitive costs of the obs layer. The *_Disabled numbers are what
+// --- every production code path pays when nobody asked for metrics (the
+// --- acceptance bar: small vs the cheapest decision, i.e. well under 2%).
+
+void BM_Obs_CounterIncrement_Disabled(benchmark::State& state) {
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("bench_counter_disabled");
+  for (auto _ : state) {
+    counter.increment();
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_Obs_CounterIncrement_Disabled);
+
+void BM_Obs_CounterIncrement_Enabled(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  obs::Counter& counter =
+      obs::MetricsRegistry::global().counter("bench_counter_enabled");
+  for (auto _ : state) {
+    counter.increment();
+    benchmark::DoNotOptimize(&counter);
+  }
+}
+BENCHMARK(BM_Obs_CounterIncrement_Enabled);
+
+void BM_Obs_HistogramObserve_Disabled(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("bench_histogram_disabled");
+  util::Rng rng(11);
+  for (auto _ : state) {
+    histogram.observe(rng.uniform(0.0, 1e6));
+    benchmark::DoNotOptimize(&histogram);
+  }
+}
+BENCHMARK(BM_Obs_HistogramObserve_Disabled);
+
+void BM_Obs_HistogramObserve_Enabled(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("bench_histogram_enabled");
+  util::Rng rng(11);
+  for (auto _ : state) {
+    histogram.observe(rng.uniform(0.0, 1e6));
+    benchmark::DoNotOptimize(&histogram);
+  }
+}
+BENCHMARK(BM_Obs_HistogramObserve_Enabled);
+
+void BM_Obs_LatencyTimer_Disabled(benchmark::State& state) {
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("bench_timer_disabled");
+  for (auto _ : state) {
+    obs::LatencyTimer timer(&histogram);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_Obs_LatencyTimer_Disabled);
+
+void BM_Obs_LatencyTimer_Enabled(benchmark::State& state) {
+  ScopedMetricsEnabled metrics_on;
+  obs::Histogram& histogram =
+      obs::MetricsRegistry::global().histogram("bench_timer_enabled");
+  for (auto _ : state) {
+    obs::LatencyTimer timer(&histogram);
+    benchmark::DoNotOptimize(&timer);
+  }
+}
+BENCHMARK(BM_Obs_LatencyTimer_Enabled);
 
 /// Table construction cost (the offline step) and memory footprint counters.
 void BM_FastMpcTableBuild_30x30(benchmark::State& state) {

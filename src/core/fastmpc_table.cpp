@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 
 #include "core/horizon_solver.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+#include "util/parallel.hpp"
 
 namespace abr::core {
 
@@ -80,7 +83,9 @@ FastMpcTable::FastMpcTable(FastMpcConfig config, std::vector<double> ladder,
       buffer_binner_(0.0, config.buffer_capacity_s, config.buffer_bins),
       throughput_binner_(config.throughput_lo_kbps, config.throughput_hi_kbps,
                          config.throughput_bins),
-      decisions_(std::move(decisions)) {
+      decisions_(std::move(decisions)),
+      lookup_histogram_(&obs::MetricsRegistry::global().histogram(
+          obs::kSolveLatencyUs, obs::solve_algorithm_label("FastMPC"))) {
   if (ladder_.empty()) {
     throw std::invalid_argument("FastMpcTable: empty ladder");
   }
@@ -125,50 +130,38 @@ FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
   std::vector<std::uint8_t> decisions(config.buffer_bins * levels *
                                       config.throughput_bins);
 
-  std::size_t worker_count =
-      config.threads > 0 ? config.threads : std::thread::hardware_concurrency();
-  if (worker_count == 0) worker_count = 1;
-  worker_count = std::min(worker_count, config.throughput_bins);
-
-  auto solve_range = [&](std::size_t first_tbin, std::size_t last_tbin) {
-    HorizonSolver solver(generic, qoe);
-    std::vector<double> forecast(config.horizon);
-    for (std::size_t c = first_tbin; c < last_tbin; ++c) {
-      forecast.assign(config.horizon, throughput_binner.center(c));
-      for (std::size_t prev = 0; prev < levels; ++prev) {
-        for (std::size_t b = 0; b < config.buffer_bins; ++b) {
-          HorizonProblem problem;
-          problem.buffer_s = buffer_binner.center(b);
-          problem.prev_level = prev;
-          problem.has_prev = true;
-          problem.predicted_kbps = forecast;
-          problem.first_chunk = 0;
-          problem.buffer_capacity_s = config.buffer_capacity_s;
-          const HorizonSolution solution = solver.solve(problem);
-          decisions[(c * levels + prev) * config.buffer_bins + b] =
-              static_cast<std::uint8_t>(solution.levels.front());
+  // One task per throughput bin (the outermost table dimension); workers
+  // solve the full (previous level x buffer bin) plane of that bin. A
+  // throwing solve propagates out of parallel_for instead of terminating.
+  const auto build_start = std::chrono::steady_clock::now();
+  util::parallel_for(
+      config.throughput_bins,
+      [&](std::size_t c) {
+        HorizonSolver solver(generic, qoe);
+        const std::vector<double> forecast(config.horizon,
+                                           throughput_binner.center(c));
+        for (std::size_t prev = 0; prev < levels; ++prev) {
+          for (std::size_t b = 0; b < config.buffer_bins; ++b) {
+            HorizonProblem problem;
+            problem.buffer_s = buffer_binner.center(b);
+            problem.prev_level = prev;
+            problem.has_prev = true;
+            problem.predicted_kbps = forecast;
+            problem.first_chunk = 0;
+            problem.buffer_capacity_s = config.buffer_capacity_s;
+            const HorizonSolution solution = solver.solve(problem);
+            decisions[(c * levels + prev) * config.buffer_bins + b] =
+                static_cast<std::uint8_t>(solution.levels.front());
+          }
         }
-      }
-    }
-  };
-
-  if (worker_count == 1) {
-    solve_range(0, config.throughput_bins);
-  } else {
-    worker_count = std::min(worker_count, config.throughput_bins);
-    std::vector<std::thread> workers;
-    workers.reserve(worker_count);
-    const std::size_t per_worker =
-        (config.throughput_bins + worker_count - 1) / worker_count;
-    for (std::size_t w = 0; w < worker_count; ++w) {
-      const std::size_t first = w * per_worker;
-      const std::size_t last =
-          std::min(first + per_worker, config.throughput_bins);
-      if (first >= last) break;
-      workers.emplace_back(solve_range, first, last);
-    }
-    for (auto& worker : workers) worker.join();
-  }
+      },
+      config.threads);
+  obs::MetricsRegistry::global()
+      .histogram(obs::kTableBuildSeconds, "",
+                 obs::exponential_buckets(0.001, 2.0, 20))
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             build_start)
+                   .count());
 
   return FastMpcTable(config, manifest.bitrates_kbps(),
                       manifest.chunk_duration_s(),
@@ -178,6 +171,7 @@ FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
 std::size_t FastMpcTable::lookup(double buffer_s, std::size_t prev_level,
                                  double throughput_kbps) const {
   assert(prev_level < ladder_.size());
+  obs::LatencyTimer timer(lookup_histogram_);
   const std::size_t b = buffer_binner_.bin(buffer_s);
   const std::size_t c = throughput_binner_.bin(throughput_kbps);
   return decisions_.at(flat_index(b, prev_level, c));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "media/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "qoe/qoe.hpp"
 #include "sim/controller.hpp"
 #include "util/binning.hpp"
@@ -98,6 +99,9 @@ class FastMpcTable {
   util::LinearBinner buffer_binner_;
   util::LogBinner throughput_binner_;
   util::RleSequence decisions_;
+  /// Online lookup latency, labeled algorithm="FastMPC" — the FastMPC half
+  /// of the Table 1 overhead comparison against the MPC solve histogram.
+  obs::Histogram* lookup_histogram_;
 };
 
 /// The online half of FastMPC: a BitrateController that consults a

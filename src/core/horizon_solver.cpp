@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
 namespace abr::core {
 
 namespace {
@@ -122,6 +125,14 @@ HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
          0.0);
 
   assert(!best_levels.empty());
+
+  // Search-effort distribution (how well the prunings work per instance).
+  static obs::Histogram& nodes_histogram =
+      obs::MetricsRegistry::global().histogram(
+          obs::kHorizonNodesExpanded, "",
+          obs::exponential_buckets(1.0, 2.0, 20));
+  nodes_histogram.observe(static_cast<double>(nodes_expanded_));
+
   HorizonSolution solution;
   solution.levels = std::move(best_levels);
   solution.objective = best_value;

@@ -4,12 +4,18 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+
 namespace abr::core {
 
 MpcController::MpcController(const media::VideoManifest& manifest,
                              const qoe::QoeModel& qoe, MpcConfig config)
     : solver_(manifest, qoe),
       config_(config),
+      solve_histogram_(&obs::MetricsRegistry::global().histogram(
+          obs::kSolveLatencyUs,
+          obs::solve_algorithm_label(config.robust ? "RobustMPC" : "MPC"))),
       error_tracker_(config.error_window) {
   assert(config.horizon >= 1);
 }
@@ -62,7 +68,11 @@ std::size_t MpcController::decide(const sim::AbrState& state,
   problem.first_chunk = state.chunk_index;
   problem.buffer_capacity_s = config_.buffer_capacity_s;
 
-  const HorizonSolution solution = solver_.solve(problem);
+  HorizonSolution solution;
+  {
+    obs::LatencyTimer timer(solve_histogram_);
+    solution = solver_.solve(problem);
+  }
   (void)manifest;
 
   // Remember the *raw* forecast for the chunk we are about to download so

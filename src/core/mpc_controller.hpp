@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "core/horizon_solver.hpp"
+#include "obs/metrics.hpp"
 #include "predict/error_tracker.hpp"
 #include "sim/controller.hpp"
 
@@ -57,6 +58,9 @@ class MpcController final : public sim::BitrateController {
  private:
   HorizonSolver solver_;
   MpcConfig config_;
+  /// Per-decision horizon-solve latency, labeled algorithm="MPC" or
+  /// "RobustMPC" — the Table 1 / §5 overhead claim as a live metric.
+  obs::Histogram* solve_histogram_;
   predict::PredictionErrorTracker error_tracker_;
   std::optional<double> pending_prediction_;  ///< forecast for the in-flight chunk
   std::size_t history_seen_ = 0;

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "media/mpd.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 #include "util/strings.hpp"
 
 namespace abr::net {
@@ -88,6 +90,14 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
     : manifest_(&manifest),
       mpd_(media::to_mpd(manifest)),
       shaper_(trace, speedup),
+      requests_counter_(
+          &obs::MetricsRegistry::global().counter(obs::kHttpRequestsTotal)),
+      bytes_counter_(
+          &obs::MetricsRegistry::global().counter(obs::kHttpBytesServedTotal)),
+      connections_gauge_(
+          &obs::MetricsRegistry::global().gauge(obs::kHttpActiveConnections)),
+      request_latency_(&obs::MetricsRegistry::global().histogram(
+          obs::kHttpRequestLatencyUs)),
       server_([this](TcpStream& stream) { handle_connection(stream); }) {}
 
 ChunkServer::~ChunkServer() { stop(); }
@@ -130,15 +140,21 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
 }
 
 void ChunkServer::handle_connection(TcpStream& stream) {
+  connections_gauge_->add(1.0);
   try {
     stream.set_no_delay(true);
     stream.set_timeout_ms(120000);
     HttpConnection connection(&stream);
     while (true) {
       const auto request = connection.read_request();
-      if (!request.has_value()) return;  // client closed keep-alive
+      if (!request.has_value()) break;  // client closed keep-alive
+      // Request latency covers routing plus the shaped body send — the time
+      // the client actually waits, i.e. the emulated link is part of it.
+      obs::LatencyTimer latency(request_latency_);
       const HttpResponse response = route(*request);
       ++requests_served_;
+      requests_counter_->increment();
+      bytes_counter_->increment(static_cast<double>(response.body.size()));
 
       // Headers go out unshaped; the body is paced by the trace shaper
       // (the emulated access link).
@@ -158,6 +174,7 @@ void ChunkServer::handle_connection(TcpStream& stream) {
   } catch (const std::exception&) {
     // Connection torn down (client abort / shutdown): drop it.
   }
+  connections_gauge_->add(-1.0);
 }
 
 }  // namespace abr::net

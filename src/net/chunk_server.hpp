@@ -11,6 +11,7 @@
 #include "net/http.hpp"
 #include "net/shaper.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "trace/throughput_trace.hpp"
 
 namespace abr::net {
@@ -92,6 +93,13 @@ class ChunkServer {
   TraceShaper shaper_;
   std::mutex shaper_mutex_;
   std::atomic<std::size_t> requests_served_{0};
+
+  // Origin-side metrics (global registry; no-ops unless it is enabled).
+  obs::Counter* requests_counter_;
+  obs::Counter* bytes_counter_;
+  obs::Gauge* connections_gauge_;
+  obs::Histogram* request_latency_;  ///< includes the shaped body send
+
   TcpServer server_;
 };
 

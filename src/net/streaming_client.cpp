@@ -6,6 +6,8 @@
 
 #include "media/mpd.hpp"
 #include "net/chunk_server.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
 
 namespace abr::net {
 
@@ -30,9 +32,13 @@ double HttpChunkSource::now() const {
 sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk, std::size_t level) {
   const std::string target = "/video/" + std::to_string(level) + "/seg-" +
                              std::to_string(chunk) + ".m4s";
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
+  obs::LatencyTimer latency(&registry.histogram(obs::kHttpFetchLatencyUs));
   const auto start = std::chrono::steady_clock::now();
   const HttpResponse response = client_.get(target);
   const auto end = std::chrono::steady_clock::now();
+  latency.stop();
 
   sim::FetchOutcome outcome;
   outcome.duration_s =

@@ -1,0 +1,281 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace abr::obs {
+
+namespace {
+
+/// Shortest round-trippable-enough rendering for the text format ("0.005",
+/// not "0.005000000000000000104...").
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+  return current + delta;
+}
+
+// --- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()),
+      enabled_(enabled) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no bucket bounds");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds not strictly increasing");
+  }
+}
+
+void Histogram::observe(double value) {
+  if (!enabled()) return;
+  // Prometheus convention: bucket i counts value <= bounds[i]; the last
+  // bucket is +Inf.
+  const std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snap.bucket_counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.min = snap.count > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+  snap.max = snap.count > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+  snap.p50 = snap.percentile(0.50);
+  snap.p90 = snap.percentile(0.90);
+  snap.p99 = snap.percentile(0.99);
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    if (bucket_counts[i] == 0) continue;
+    const std::uint64_t next = cumulative + bucket_counts[i];
+    if (rank <= static_cast<double>(next)) {
+      // Interpolate within bucket i. Edge buckets use the observed extremes
+      // instead of -Inf / +Inf.
+      const double lo = i == 0 ? min : bounds[i - 1];
+      const double hi = i < bounds.size() ? bounds[i] : max;
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(bucket_counts[i]);
+      return std::clamp(lo + within * (hi - lo), min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+// --- Bucket layouts --------------------------------------------------------
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("exponential_buckets: bad parameters");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> linear_buckets(double start, double width,
+                                   std::size_t count) {
+  if (width <= 0.0 || count == 0) {
+    throw std::invalid_argument("linear_buckets: bad parameters");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + static_cast<double>(i) * width);
+  }
+  return bounds;
+}
+
+std::vector<double> default_latency_buckets_us() {
+  return exponential_buckets(0.25, 2.0, 24);  // 0.25 us .. ~4.2 s
+}
+
+// --- MetricsRegistry -------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry(/*enabled=*/false);
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = counters_[key(name, labels)];
+  if (!entry.instrument) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.instrument.reset(new Counter(&enabled_));
+  }
+  return *entry.instrument;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = gauges_[key(name, labels)];
+  if (!entry.instrument) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.instrument.reset(new Gauge(&enabled_));
+  }
+  return *entry.instrument;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& labels,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = histograms_[key(name, labels)];
+  if (!entry.instrument) {
+    entry.name = name;
+    entry.labels = labels;
+    entry.instrument.reset(new Histogram(
+        &enabled_,
+        bounds.empty() ? default_latency_buckets_us() : std::move(bounds)));
+  }
+  return *entry.instrument;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [k, entry] : counters_) {
+    snap.counters[k] = entry.instrument->value();
+  }
+  for (const auto& [k, entry] : gauges_) {
+    snap.gauges[k] = entry.instrument->value();
+  }
+  for (const auto& [k, entry] : histograms_) {
+    snap.histograms[k] = entry.instrument->snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  // The maps are keyed by name{labels}, and '{' sorts after every
+  // identifier character, so label variants of one family are adjacent:
+  // emit the # TYPE header whenever the family name changes.
+  const char* last_family = "";
+  const auto family_header = [&](const std::string& name, const char* type) {
+    if (name != last_family) {
+      out << "# TYPE " << name << " " << type << "\n";
+      last_family = name.c_str();
+    }
+  };
+
+  for (const auto& [k, entry] : counters_) {
+    family_header(entry.name, "counter");
+    out << k << " " << format_double(entry.instrument->value()) << "\n";
+  }
+  last_family = "";
+  for (const auto& [k, entry] : gauges_) {
+    family_header(entry.name, "gauge");
+    out << k << " " << format_double(entry.instrument->value()) << "\n";
+  }
+  last_family = "";
+  for (const auto& [k, entry] : histograms_) {
+    family_header(entry.name, "histogram");
+    const HistogramSnapshot snap = entry.instrument->snapshot();
+    const std::string separator = entry.labels.empty() ? "" : ",";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      cumulative += snap.bucket_counts[i];
+      const std::string le =
+          i < snap.bounds.size() ? format_double(snap.bounds[i]) : "+Inf";
+      out << entry.name << "_bucket{" << entry.labels << separator << "le=\""
+          << le << "\"} " << cumulative << "\n";
+    }
+    const std::string labels =
+        entry.labels.empty() ? "" : "{" + entry.labels + "}";
+    out << entry.name << "_sum" << labels << " " << format_double(snap.sum)
+        << "\n";
+    out << entry.name << "_count" << labels << " " << snap.count << "\n";
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [k, entry] : counters_) {
+    entry.instrument->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [k, entry] : gauges_) {
+    entry.instrument->value_.store(0.0, std::memory_order_relaxed);
+  }
+  for (auto& [k, entry] : histograms_) {
+    Histogram& h = *entry.instrument;
+    for (auto& bucket : h.buckets_) bucket.store(0, std::memory_order_relaxed);
+    h.count_.store(0, std::memory_order_relaxed);
+    h.sum_.store(0.0, std::memory_order_relaxed);
+    h.min_.store(std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+    h.max_.store(-std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+  }
+}
+
+}  // namespace abr::obs

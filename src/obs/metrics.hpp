@@ -1,0 +1,200 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace abr::obs {
+
+/// Atomic += for doubles via a CAS loop (std::atomic<double>::fetch_add is
+/// C++20 but not uniformly available); returns the new value.
+double atomic_add(std::atomic<double>& target, double delta);
+
+/// Monotonically increasing value (events, bytes, accumulated seconds).
+/// Thread-safe; increments are relaxed atomics. When the owning registry is
+/// disabled, increment() is a relaxed load + branch and nothing else.
+class Counter {
+ public:
+  void increment(double delta = 1.0) {
+    if (!enabled()) return;
+    atomic_add(value_, delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Last-write-wins instantaneous value (buffer level, active connections).
+class Gauge {
+ public:
+  void set(double value) {
+    if (!enabled()) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    atomic_add(value_, delta);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<double> value_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Point-in-time copy of a histogram, with percentile estimation.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  /// Bucket upper bounds (`le` in Prometheus terms); bucket_counts has one
+  /// extra trailing entry for the +Inf overflow bucket. Counts are
+  /// per-bucket, not cumulative.
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+
+  /// Estimates the q-quantile (q in [0, 1]) by linear interpolation inside
+  /// the bucket containing the rank, clamped to the observed [min, max].
+  /// The error is bounded by the width of that bucket.
+  double percentile(double q) const;
+};
+
+/// Fixed-bucket histogram. observe() is wait-free: a binary search over the
+/// bucket bounds plus a handful of relaxed atomic updates. Disabled cost is
+/// one relaxed load + branch.
+class Histogram {
+ public:
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  bool enabled() const {
+    return enabled_ == nullptr || enabled_->load(std::memory_order_relaxed);
+  }
+
+  /// Consistent-enough copy for reporting: buckets are read individually
+  /// (no global lock), so a snapshot taken while writers are active may be
+  /// off by in-flight observations.
+  HistogramSnapshot snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// `count` bounds starting at `start`, each `factor` times the previous
+/// (Prometheus ExponentialBuckets). start > 0, factor > 1.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count);
+
+/// `count` bounds `start, start + width, ...` (Prometheus LinearBuckets).
+std::vector<double> linear_buckets(double start, double width,
+                                   std::size_t count);
+
+/// Default bounds for latency-in-microseconds histograms: 0.25 us .. ~4 s,
+/// factor 2 — covers a FastMPC table lookup (sub-us) through a slow MPC
+/// horizon solve or an HTTP transfer, with ~2x worst-case percentile error.
+std::vector<double> default_latency_buckets_us();
+
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named-instrument registry. Get-or-create takes a mutex; returned
+/// references are stable for the registry's lifetime, so hot paths should
+/// hold onto them. The global() instance starts *disabled* (the kill
+/// switch): every instrument bound to it no-ops until someone opts in via
+/// set_enabled(true), e.g. `abrsim --metrics`. Instances you construct
+/// yourself default to enabled.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry used by the library's built-in instrumentation.
+  /// Starts disabled.
+  static MetricsRegistry& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// `labels` is a raw Prometheus label body, e.g. `algorithm="MPC"`; the
+  /// same (name, labels) pair always returns the same instrument.
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+
+  /// Empty `bounds` selects default_latency_buckets_us(). Bounds must be
+  /// strictly increasing; they are fixed at first registration (later calls
+  /// with different bounds return the existing instrument).
+  Histogram& histogram(const std::string& name, const std::string& labels = "",
+                       std::vector<double> bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition format (# TYPE lines, cumulative
+  /// `_bucket{le=...}` plus `_sum`/`_count` for histograms).
+  void write_prometheus(std::ostream& out) const;
+
+  /// Zeroes every instrument's value. Instruments stay registered, so
+  /// references held by callers remain valid.
+  void reset();
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;    ///< metric family name
+    std::string labels;  ///< label body, may be empty
+    std::unique_ptr<T> instrument;
+  };
+
+  static std::string key(const std::string& name, const std::string& labels) {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  }
+
+  std::atomic<bool> enabled_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Named<Counter>> counters_;
+  std::map<std::string, Named<Gauge>> gauges_;
+  std::map<std::string, Named<Histogram>> histograms_;
+};
+
+}  // namespace abr::obs

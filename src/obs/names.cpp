@@ -1,0 +1,33 @@
+#include "obs/names.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace abr::obs {
+
+std::string solve_algorithm_label(const std::string& algorithm) {
+  return "algorithm=\"" + algorithm + "\"";
+}
+
+void register_standard_metrics(MetricsRegistry& registry) {
+  for (const char* algorithm : {"MPC", "RobustMPC", "FastMPC"}) {
+    registry.histogram(kSolveLatencyUs, solve_algorithm_label(algorithm));
+  }
+  registry.histogram(kHorizonNodesExpanded, "",
+                     exponential_buckets(1.0, 2.0, 20));
+  registry.histogram(kTableBuildSeconds, "",
+                     exponential_buckets(0.001, 2.0, 20));
+  registry.counter(kChunksDownloadedTotal);
+  registry.counter(kRebufferSecondsTotal);
+  registry.counter(kWaitSecondsTotal);
+  registry.counter(kSessionsTotal);
+  registry.histogram(kChunkDownloadSeconds, "",
+                     exponential_buckets(0.01, 2.0, 16));
+  registry.gauge(kBufferLevelSeconds);
+  registry.counter(kHttpRequestsTotal);
+  registry.counter(kHttpBytesServedTotal);
+  registry.gauge(kHttpActiveConnections);
+  registry.histogram(kHttpRequestLatencyUs);
+  registry.histogram(kHttpFetchLatencyUs);
+}
+
+}  // namespace abr::obs

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+namespace abr::obs {
+
+class MetricsRegistry;
+
+// Canonical metric names shared by the built-in instrumentation, so that
+// dashboards, tests, and the Prometheus dump all agree. All latency
+// histograms are in microseconds (suffix _us); accumulating counters of
+// seconds carry _seconds_total.
+
+// Controller decision path (core/).
+inline constexpr char kSolveLatencyUs[] = "abr_solve_latency_us";
+inline constexpr char kDecideLatencyUs[] = "abr_decide_latency_us";
+inline constexpr char kHorizonNodesExpanded[] = "abr_horizon_nodes_expanded";
+inline constexpr char kTableBuildSeconds[] = "abr_table_build_seconds";
+
+// Player session (sim/).
+inline constexpr char kChunksDownloadedTotal[] = "abr_chunks_downloaded_total";
+inline constexpr char kRebufferSecondsTotal[] = "abr_rebuffer_seconds_total";
+inline constexpr char kWaitSecondsTotal[] = "abr_wait_seconds_total";
+inline constexpr char kChunkDownloadSeconds[] = "abr_chunk_download_seconds";
+inline constexpr char kBufferLevelSeconds[] = "abr_buffer_level_s";
+inline constexpr char kSessionsTotal[] = "abr_sessions_total";
+
+// Shared-link multi-player simulation (sim/multiplayer).
+inline constexpr char kMultiplayerJainFairness[] =
+    "abr_multiplayer_jain_fairness";
+inline constexpr char kMultiplayerLinkUtilization[] =
+    "abr_multiplayer_link_utilization";
+
+// HTTP origin + client (net/).
+inline constexpr char kHttpRequestsTotal[] = "abr_http_requests_total";
+inline constexpr char kHttpBytesServedTotal[] = "abr_http_bytes_served_total";
+inline constexpr char kHttpActiveConnections[] = "abr_http_active_connections";
+inline constexpr char kHttpRequestLatencyUs[] = "abr_http_request_latency_us";
+inline constexpr char kHttpFetchLatencyUs[] =
+    "abr_http_client_fetch_latency_us";
+
+/// Label body for a solve-latency histogram, e.g. algorithm="MPC".
+std::string solve_algorithm_label(const std::string& algorithm);
+
+/// Pre-registers the standard metric families above (with the solve-latency
+/// histograms for MPC, RobustMPC, and FastMPC) so a metrics dump shows the
+/// full schema, zero-valued, even for instruments the current run never
+/// touched.
+void register_standard_metrics(MetricsRegistry& registry);
+
+}  // namespace abr::obs

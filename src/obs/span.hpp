@@ -1,0 +1,44 @@
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace abr::obs {
+
+/// RAII wall-clock timer: records its lifetime in microseconds into a
+/// Histogram on destruction. Null histogram or a disabled registry arms
+/// nothing — the constructor then costs one relaxed load and no clock read,
+/// which is what keeps disabled-mode overhead near zero on hot paths
+/// (FastMPC lookups are a few ns; reading the clock would dominate them).
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* histogram)
+      : histogram_(histogram != nullptr && histogram->enabled() ? histogram
+                                                                : nullptr) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+  ~LatencyTimer() { stop(); }
+
+  /// Records now; subsequent calls (and destruction) are no-ops. Returns
+  /// the elapsed microseconds, or 0 if the timer was never armed.
+  double stop() {
+    if (histogram_ == nullptr) return 0.0;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const double us =
+        std::chrono::duration<double, std::micro>(elapsed).count();
+    histogram_->observe(us);
+    histogram_ = nullptr;
+    return us;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace abr::obs

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace abr::obs {
+
+/// One argument attached to a trace event; rendered into the event's
+/// "args" object.
+struct TraceArg {
+  std::string key;
+  std::variant<std::int64_t, double, std::string> value;
+
+  TraceArg(std::string k, std::int64_t v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, std::size_t v)
+      : key(std::move(k)), value(static_cast<std::int64_t>(v)) {}
+  TraceArg(std::string k, double v) : key(std::move(k)), value(v) {}
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+};
+
+/// One entry in Chrome's trace_event format. Timestamps and durations are
+/// microseconds, matching the format spec.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';  ///< 'X' complete, 'C' counter, 'i' instant, 'M' metadata
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;  ///< complete events only
+  int pid = 1;
+  int tid = 0;
+  std::vector<TraceArg> args;
+};
+
+/// Collects trace events and serializes them as Chrome trace-event JSON
+/// (the "JSON Object Format": {"traceEvents": [...]}), loadable in
+/// chrome://tracing or Perfetto. Thread-safe: recording appends under a
+/// mutex. Times are given in *seconds* (the project-wide unit) and stored
+/// as integer microseconds.
+///
+/// A session timeline uses the session clock (virtual time in simulation),
+/// so downloads, rebuffers, and waits lay out exactly as the player
+/// experienced them; controller decide() spans carry their wall-clock
+/// duration at the session timestamp where the decision happened.
+class TraceWriter {
+ public:
+  explicit TraceWriter(bool enabled = true) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Complete ('X') event covering [start_s, start_s + duration_s).
+  void complete(std::string name, std::string category, double start_s,
+                double duration_s, int tid = 0,
+                std::vector<TraceArg> args = {});
+
+  /// Instant ('i') event at ts_s.
+  void instant(std::string name, std::string category, double ts_s,
+               int tid = 0, std::vector<TraceArg> args = {});
+
+  /// Counter ('C') event: a named time series sampled at ts_s. Chrome plots
+  /// one track per (pid, name).
+  void counter(std::string name, double ts_s, double value);
+
+  /// Metadata naming the process / thread tracks in the viewer.
+  void set_process_name(std::string name, int pid = 1);
+  void set_thread_name(std::string name, int tid, int pid = 1);
+
+  std::size_t event_count() const;
+  std::size_t event_count(std::string_view name) const;
+  std::vector<TraceEvent> events() const;  ///< copy, for tests
+
+  /// Writes {"traceEvents": [...], ...}; valid JSON regardless of event
+  /// names/args (strings are escaped).
+  void write(std::ostream& out) const;
+  void save(const std::string& path) const;
+
+ private:
+  void push(TraceEvent event);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  bool enabled_;
+};
+
+}  // namespace abr::obs

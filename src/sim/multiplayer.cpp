@@ -4,6 +4,11 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace_event.hpp"
 
 namespace abr::sim {
 
@@ -83,6 +88,26 @@ MultiPlayerResult simulate_shared_link(
     Player player(qoe);
     player.join_time_s = static_cast<double>(i) * config.startup_stagger_s;
     players.push_back(std::move(player));
+  }
+
+  // Per-player aggregation (labeled player="i") plus one trace track per
+  // player when a writer is attached.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::TraceWriter* tracer =
+      config.trace_writer != nullptr && config.trace_writer->enabled()
+          ? config.trace_writer
+          : nullptr;
+  std::vector<obs::Counter*> chunk_counters(n);
+  std::vector<obs::Counter*> rebuffer_counters(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string label = "player=\"" + std::to_string(i) + "\"";
+    chunk_counters[i] = &registry.counter(obs::kChunksDownloadedTotal, label);
+    rebuffer_counters[i] =
+        &registry.counter(obs::kRebufferSecondsTotal, label);
+    if (tracer != nullptr) {
+      tracer->set_thread_name("player " + std::to_string(i),
+                              static_cast<int>(i));
+    }
   }
 
   // Starts the download of `player`'s next chunk (runs the controller).
@@ -222,6 +247,24 @@ MultiPlayerResult simulate_shared_link(
             record.wait_s = wait_s;
             record.buffer_after_s = player.buffer_s;
 
+            chunk_counters[i]->increment();
+            rebuffer_counters[i]->increment(record.rebuffer_s);
+            if (tracer != nullptr) {
+              const int tid = static_cast<int>(i);
+              tracer->complete("download", "net", record.start_s,
+                               record.download_s, tid,
+                               {{"chunk", record.index},
+                                {"level", record.level},
+                                {"throughput_kbps", record.throughput_kbps}});
+              if (record.rebuffer_s > 0.0) {
+                tracer->complete("rebuffer", "playback",
+                                 end - record.rebuffer_s, record.rebuffer_s,
+                                 tid, {{"chunk", record.index}});
+              }
+              tracer->counter("buffer_s p" + std::to_string(i), end,
+                              player.buffer_s);
+            }
+
             player.qoe_acc.add_chunk(record.bitrate_kbps, record.rebuffer_s);
             player.history_kbps.push_back(record.throughput_kbps);
             player.prev_level = player.level;
@@ -302,6 +345,9 @@ MultiPlayerResult simulate_shared_link(
   const double offered_kb = link.kilobits_between(0.0, busy_span_end);
   result.link_utilization =
       offered_kb > 0.0 ? delivered_kb / offered_kb : 0.0;
+  registry.gauge(obs::kMultiplayerJainFairness).set(result.jain_fairness);
+  registry.gauge(obs::kMultiplayerLinkUtilization)
+      .set(result.link_utilization);
   return result;
 }
 

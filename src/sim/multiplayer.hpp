@@ -8,6 +8,10 @@
 #include "qoe/qoe.hpp"
 #include "sim/player.hpp"
 
+namespace abr::obs {
+class TraceWriter;
+}
+
 namespace abr::sim {
 
 /// Configuration of a shared-bottleneck experiment.
@@ -24,6 +28,12 @@ struct MultiPlayerConfig {
   /// Simulation time step. Downloads complete within one step of their true
   /// finish time; 50 ms is far below the chunk timescale (seconds).
   double time_step_s = 0.05;
+
+  /// Optional Chrome trace-event sink: each player's downloads, rebuffers,
+  /// and buffer-level counter render on their own track (tid = player
+  /// index). Per-player metrics (chunks, rebuffer seconds, labeled
+  /// player="i") go to obs::MetricsRegistry::global() when it is enabled.
+  obs::TraceWriter* trace_writer = nullptr;
 };
 
 /// Outcome of a shared-link simulation.

@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace_event.hpp"
 
 namespace abr::sim {
 
@@ -36,6 +41,30 @@ SessionResult PlayerSession::run(ChunkSource& source,
 
   SessionResult result;
   result.chunks.reserve(chunk_count);
+
+  // Observability: metrics go to the global registry (a no-op unless it has
+  // been enabled); the timeline goes to the optional per-session TraceWriter.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::TraceWriter* tracer =
+      config_.trace_writer != nullptr && config_.trace_writer->enabled()
+          ? config_.trace_writer
+          : nullptr;
+  const int track = config_.trace_track;
+  const std::string buffer_counter_name =
+      track == 0 ? "buffer_s" : "buffer_s p" + std::to_string(track);
+  obs::Counter& chunks_total = registry.counter(obs::kChunksDownloadedTotal);
+  obs::Counter& rebuffer_total = registry.counter(obs::kRebufferSecondsTotal);
+  obs::Counter& wait_total = registry.counter(obs::kWaitSecondsTotal);
+  obs::Counter& sessions_total = registry.counter(obs::kSessionsTotal);
+  obs::Gauge& buffer_gauge = registry.gauge(obs::kBufferLevelSeconds);
+  obs::Histogram& download_hist =
+      registry.histogram(obs::kChunkDownloadSeconds, "",
+                         obs::exponential_buckets(0.01, 2.0, 16));
+  obs::Histogram& decide_hist = registry.histogram(
+      obs::kDecideLatencyUs, "controller=\"" + controller.name() + "\"");
+  // Skip the clock reads entirely when nobody is listening.
+  const bool time_decisions = registry.enabled() || tracer != nullptr;
+  bool playback_start_emitted = false;
 
   qoe::QoeModel::Accumulator qoe_acc(*qoe_);
 
@@ -91,7 +120,21 @@ SessionResult PlayerSession::run(ChunkSource& source,
     state.prediction_kbps = predictions;
     state.now_s = now;
     state.playback_started = playing;
-    const std::size_t level = controller.decide(state, manifest);
+    std::size_t level = 0;
+    if (time_decisions) {
+      const auto t0 = std::chrono::steady_clock::now();
+      level = controller.decide(state, manifest);
+      const double decide_us = std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+      decide_hist.observe(decide_us);
+      if (tracer != nullptr) {
+        tracer->complete("decide", "controller", now, decide_us * 1e-6, track,
+                         {{"chunk", k}, {"level", level}});
+      }
+    } else {
+      level = controller.decide(state, manifest);
+    }
     if (level >= manifest.level_count()) {
       throw std::logic_error("controller '" + controller.name() +
                              "' returned an out-of-range ladder index");
@@ -146,6 +189,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
     // 6. Buffer-full wait (Eq. (4)): drain the excess before the next
     // request. If playback has not begun (large fixed delay), idle until it
     // does, then drain.
+    const double wait_start_s = source.now();
     double wait_s = 0.0;
     if (buffer_s > buffer_capacity) {
       if (!playing) {
@@ -168,6 +212,38 @@ SessionResult PlayerSession::run(ChunkSource& source,
     record.buffer_after_s = buffer_s;
     result.chunks.push_back(record);
 
+    chunks_total.increment();
+    rebuffer_total.increment(rebuffer_s);
+    wait_total.increment(wait_s);
+    download_hist.observe(record.download_s);
+    buffer_gauge.set(buffer_s);
+    if (tracer != nullptr) {
+      const double download_end_s = record.start_s + record.download_s;
+      tracer->complete("download", "net", record.start_s, record.download_s,
+                       track,
+                       {{"chunk", k},
+                        {"level", level},
+                        {"bitrate_kbps", record.bitrate_kbps},
+                        {"throughput_kbps", record.throughput_kbps}});
+      if (rebuffer_s > 0.0) {
+        // The stall occupies the tail of the download: the buffer ran dry
+        // rebuffer_s before the chunk arrived.
+        tracer->complete("rebuffer", "playback", download_end_s - rebuffer_s,
+                         rebuffer_s, track, {{"chunk", k}});
+      }
+      if (wait_s > 0.0) {
+        tracer->complete("wait", "playback", wait_start_s, wait_s, track,
+                         {{"chunk", k}});
+      }
+      if (playing && !playback_start_emitted) {
+        tracer->instant("playback_start", "playback", startup_delay, track);
+        playback_start_emitted = true;
+      }
+      tracer->counter(buffer_counter_name, record.start_s,
+                      record.buffer_before_s);
+      tracer->counter(buffer_counter_name, source.now(), buffer_s);
+    }
+
     qoe_acc.add_chunk(record.bitrate_kbps, rebuffer_s);
     history_kbps.push_back(record.throughput_kbps);
     prev_level = level;
@@ -179,6 +255,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
     startup_delay = config_.fixed_startup_delay_s;
   }
 
+  sessions_total.increment();
   result.startup_delay_s = startup_delay;
   result.session_duration_s = source.now();
   if (config_.include_startup_in_qoe) {

@@ -8,6 +8,10 @@
 #include "sim/chunk_source.hpp"
 #include "sim/controller.hpp"
 
+namespace abr::obs {
+class TraceWriter;
+}
+
 namespace abr::sim {
 
 /// When playback is allowed to begin relative to the download process.
@@ -37,6 +41,17 @@ struct SessionConfig {
   /// When false, the startup-delay term is dropped from the reported QoE
   /// (the Fig. 11d convention).
   bool include_startup_in_qoe = true;
+
+  /// Optional Chrome trace-event sink: the session emits download /
+  /// rebuffer / wait spans, decide() spans (wall-clock duration at the
+  /// session timestamp), a buffer-level counter track, and playback-start
+  /// instants. Session metrics additionally flow to
+  /// obs::MetricsRegistry::global() whenever that registry is enabled.
+  obs::TraceWriter* trace_writer = nullptr;
+
+  /// Trace-event thread id for this session's spans; multi-session
+  /// timelines give each player its own track.
+  int trace_track = 0;
 };
 
 /// Per-chunk log entry, mirroring the logging our dash.js modification

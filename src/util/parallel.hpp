@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -10,6 +13,12 @@ namespace abr::util {
 /// (0 = hardware concurrency). Blocks until all complete. fn must be safe to
 /// call concurrently for distinct i; indices are block-partitioned so
 /// per-index work should be roughly uniform.
+///
+/// If any fn(i) throws, the first exception caught is rethrown on the
+/// calling thread after all workers have joined (an exception escaping a
+/// std::thread would std::terminate the process). Once a worker has failed,
+/// the remaining workers stop picking up new indices, so some indices may
+/// never run.
 ///
 /// Used by the benches to fan out independent trace simulations and by the
 /// FastMPC table build.
@@ -26,6 +35,10 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
     return;
   }
 
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
   const std::size_t per_worker = (count + worker_count - 1) / worker_count;
   std::vector<std::thread> workers;
   workers.reserve(worker_count);
@@ -33,11 +46,23 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
     const std::size_t first = w * per_worker;
     if (first >= count) break;
     const std::size_t last = first + per_worker < count ? first + per_worker : count;
-    workers.emplace_back([&fn, first, last] {
-      for (std::size_t i = first; i < last; ++i) fn(i);
+    workers.emplace_back([&fn, &failed, &first_error, &error_mutex, first,
+                          last] {
+      for (std::size_t i = first; i < last; ++i) {
+        if (failed.load(std::memory_order_relaxed)) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
     });
   }
   for (auto& worker : workers) worker.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace abr::util

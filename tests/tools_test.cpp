@@ -6,6 +6,8 @@
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 namespace {
@@ -61,6 +63,43 @@ TEST(ToolsAbrsim, ChunkLogEmitsCsvRows) {
   std::size_t pos = result.output.find("chunk,level");
   while ((pos = result.output.find('\n', pos + 1)) != std::string::npos) ++rows;
   EXPECT_GE(rows, 65u);
+}
+
+TEST(ToolsAbrsim, MetricsAndTraceOutEmitObservabilityArtifacts) {
+  const auto dir = std::filesystem::temp_directory_path() / "abr_obs_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const auto trace_path = dir / "session.json";
+  const auto result = run_command(
+      std::string(ABRSIM_PATH) +
+      " --algorithm robustmpc --dataset fcc --no-optimal --metrics"
+      " --trace-out " + trace_path.string());
+  EXPECT_EQ(result.exit_code, 0);
+
+  // Prometheus dump: solve-latency histograms for every MPC flavour, with
+  // real samples under the RobustMPC label (64 solves: the cold-start
+  // decision for chunk 0 picks the default level without solving).
+  EXPECT_NE(result.output.find("# TYPE abr_solve_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(result.output.find(
+                "abr_solve_latency_us_count{algorithm=\"RobustMPC\"} 64"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("algorithm=\"FastMPC\""), std::string::npos);
+  EXPECT_NE(result.output.find("algorithm=\"MPC\""), std::string::npos);
+  EXPECT_NE(result.output.find("abr_chunks_downloaded_total 65"),
+            std::string::npos);
+
+  // Chrome trace: file exists and holds a traceEvents array with the
+  // per-chunk spans.
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  std::ifstream in(trace_path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"download\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decide\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ToolsTracegen, GeneratesLoadableDataset) {

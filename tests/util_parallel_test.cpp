@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace abr::util {
@@ -45,6 +46,57 @@ TEST(ParallelFor, ComputesCorrectAggregate) {
   // Sum of squares 0..n-1 = (n-1)n(2n-1)/6.
   EXPECT_EQ(total, static_cast<long>(kN - 1) * static_cast<long>(kN) *
                        static_cast<long>(2 * kN - 1) / 6);
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 37) throw std::runtime_error("worker 37 failed");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, FirstExceptionKeepsTypeAndMessage) {
+  try {
+    parallel_for(
+        50, [](std::size_t i) { throw std::out_of_range("index " +
+                                                        std::to_string(i)); },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("index "), std::string::npos);
+  }
+}
+
+TEST(ParallelFor, ExceptionStopsSchedulingNewWork) {
+  // After a worker throws, other workers must stop claiming indices; the
+  // visit count stays well below the (huge) total.
+  std::atomic<int> visited{0};
+  EXPECT_THROW(parallel_for(
+                   1 << 20,
+                   [&](std::size_t) {
+                     ++visited;
+                     throw std::runtime_error("boom");
+                   },
+                   4),
+               std::runtime_error);
+  EXPECT_LT(visited.load(), 1 << 20);
+}
+
+TEST(ParallelFor, SingleThreadExceptionPropagatesDirectly) {
+  std::atomic<int> visited{0};
+  EXPECT_THROW(parallel_for(
+                   10,
+                   [&](std::size_t i) {
+                     ++visited;
+                     if (i == 2) throw std::logic_error("stop");
+                   },
+                   1),
+               std::logic_error);
+  EXPECT_EQ(visited.load(), 3);  // serial path stops at the throwing index
 }
 
 }  // namespace

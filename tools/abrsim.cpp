@@ -8,9 +8,11 @@
 //   abrsim --algorithm robustmpc --dataset hsdpa --index 3
 //   abrsim --algorithm bb --trace mytrace.csv --manifest video.mpd
 //   abrsim --algorithm fastmpc --dataset fcc --chunk-log
+//   abrsim --algorithm robustmpc --dataset fcc --metrics --trace-out t.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -18,6 +20,9 @@
 #include "core/algorithms.hpp"
 #include "core/offline_optimal.hpp"
 #include "media/mpd.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/player.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
@@ -41,6 +46,8 @@ struct Options {
   std::size_t horizon = 5;
   bool chunk_log = false;
   bool skip_optimal = false;
+  bool metrics = false;
+  std::string trace_out;
 };
 
 void usage() {
@@ -56,7 +63,11 @@ void usage() {
       "  --buffer SECONDS          playout buffer Bmax (default 30)\n"
       "  --horizon N               MPC look-ahead (default 5)\n"
       "  --chunk-log               print the per-chunk log as CSV\n"
-      "  --no-optimal              skip the offline-optimal comparison");
+      "  --no-optimal              skip the offline-optimal comparison\n"
+      "  --metrics                 enable instrumentation and print a\n"
+      "                            Prometheus-format metrics dump at exit\n"
+      "  --trace-out FILE.json     write the session timeline as Chrome\n"
+      "                            trace-event JSON (chrome://tracing)");
 }
 
 std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
@@ -103,6 +114,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.horizon = std::strtoull(value(), nullptr, 10);
     else if (arg == "--chunk-log") options.chunk_log = true;
     else if (arg == "--no-optimal") options.skip_optimal = true;
+    else if (arg == "--metrics") options.metrics = true;
+    else if (arg == "--trace-out") options.trace_out = value();
     else if (arg == "--help") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -165,10 +178,22 @@ int main(int argc, char** argv) {
     manifest = media::from_mpd(buffer.str());
   }
 
+  // Observability: --metrics flips the global registry's kill switch and
+  // pre-registers the standard families so the dump shows the full schema;
+  // --trace-out attaches a Chrome trace-event writer to the session.
+  if (options.metrics) {
+    obs::MetricsRegistry::global().set_enabled(true);
+    obs::register_standard_metrics(obs::MetricsRegistry::global());
+  }
+  obs::TraceWriter tracer(!options.trace_out.empty());
+  tracer.set_process_name("abrsim");
+  tracer.set_thread_name("player", 0);
+
   const qoe::QoeModel model(media::QualityFunction::identity(),
                             qoe::preset_weights(*preference));
   sim::SessionConfig session;
   session.buffer_capacity_s = options.buffer_s;
+  if (tracer.enabled()) session.trace_writer = &tracer;
 
   core::AlgorithmOptions algo_options;
   algo_options.buffer_capacity_s = options.buffer_s;
@@ -212,6 +237,23 @@ int main(int argc, char** argv) {
                   r.level, r.bitrate_kbps, r.start_s, r.download_s,
                   r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s);
     }
+  }
+
+  if (!options.trace_out.empty()) {
+    try {
+      tracer.save(options.trace_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("\nwrote Chrome trace: %s (%zu events; open chrome://tracing)\n",
+                options.trace_out.c_str(), tracer.event_count());
+  }
+  if (options.metrics) {
+    std::printf("\n# metrics (Prometheus text exposition format)\n");
+    std::fflush(stdout);
+    obs::MetricsRegistry::global().write_prometheus(std::cout);
+    std::cout.flush();
   }
   return 0;
 }
