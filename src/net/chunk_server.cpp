@@ -1,9 +1,12 @@
 #include "net/chunk_server.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "media/mpd.hpp"
+#include "net/faults.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
 #include "util/strings.hpp"
@@ -90,6 +93,7 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
     : manifest_(&manifest),
       mpd_(media::to_mpd(manifest)),
       shaper_(trace, speedup),
+      speedup_(speedup),
       requests_counter_(
           &obs::MetricsRegistry::global().counter(obs::kHttpRequestsTotal)),
       bytes_counter_(
@@ -151,13 +155,43 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       // Request latency covers routing plus the shaped body send — the time
       // the client actually waits, i.e. the emulated link is part of it.
       obs::LatencyTimer latency(request_latency_);
-      const HttpResponse response = route(*request);
+      HttpResponse response = route(*request);
       ++requests_served_;
       requests_counter_->increment();
+
+      // Fault injection applies to segment requests only (the MPD and
+      // error responses go out faithfully).
+      testing::FaultDecision fault;
+      std::size_t level = 0;
+      std::size_t number = 0;
+      if (injector_ != nullptr && response.status == 200 &&
+          parse_segment_path(request->target, level, number)) {
+        fault = injector_->next(number);
+      }
+
+      if (fault.kind == testing::FaultKind::kReset) {
+        // Tear the connection down without answering: the client's read
+        // fails mid-request.
+        stream.shutdown_both();
+        break;
+      }
+      if (fault.kind == testing::FaultKind::kHttpError) {
+        response.status = injector_->plan().http_status;
+        response.reason = "Service Unavailable";
+        response.headers = HttpHeaders{};
+        response.body = "injected fault\n";
+      }
+      if (fault.kind == testing::FaultKind::kLatencySpike) {
+        // First-byte delay, in wall time scaled like the shaper.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.latency_s / speedup_));
+      }
+
       bytes_counter_->increment(static_cast<double>(response.body.size()));
 
       // Headers go out unshaped; the body is paced by the trace shaper
-      // (the emulated access link).
+      // (the emulated access link). A truncating fault still promises the
+      // full Content-Length — the client must detect the short body.
       std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
                          response.reason + "\r\n";
       for (const auto& [key, value] : response.headers.entries) {
@@ -166,9 +200,31 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       head += "Content-Length: " + std::to_string(response.body.size()) +
               "\r\n\r\n";
       connection.stream().write_all(head);
-      {
+
+      const std::string_view body = response.body;
+      if (fault.kind == testing::FaultKind::kStall) {
+        const auto split = static_cast<std::size_t>(
+            static_cast<double>(body.size()) * fault.body_fraction);
+        {
+          std::lock_guard<std::mutex> lock(shaper_mutex_);
+          shaper_.send(connection.stream(), body.substr(0, split));
+        }
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.stall_s / speedup_));
         std::lock_guard<std::mutex> lock(shaper_mutex_);
-        shaper_.send(connection.stream(), response.body);
+        shaper_.send(connection.stream(), body.substr(split));
+      } else if (fault.kind == testing::FaultKind::kPartialBody) {
+        const auto split = static_cast<std::size_t>(
+            static_cast<double>(body.size()) * fault.body_fraction);
+        {
+          std::lock_guard<std::mutex> lock(shaper_mutex_);
+          shaper_.send(connection.stream(), body.substr(0, split));
+        }
+        stream.shutdown_both();
+        break;
+      } else {
+        std::lock_guard<std::mutex> lock(shaper_mutex_);
+        shaper_.send(connection.stream(), body);
       }
     }
   } catch (const std::exception&) {

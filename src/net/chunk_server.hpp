@@ -58,6 +58,8 @@ class TcpServer {
   std::atomic<bool> running_{false};
 };
 
+class FaultInjector;
+
 /// A synthetic DASH origin: serves the MPD and fixed-size segment payloads
 /// for a manifest, with every response body paced by a trace-driven shaper.
 /// Together with HttpChunkSource this reproduces the paper's emulation
@@ -77,6 +79,12 @@ class ChunkServer {
   void stop();
   std::uint16_t port() const { return server_.port(); }
 
+  /// Attaches a fault injector that decides the fate of each segment
+  /// request (latency spike, mid-body stall, truncation, reset, 5xx). Must
+  /// be set before start(); the injector must outlive the server. Pass
+  /// nullptr to serve faithfully (the default).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   /// Resets the shaper's trace clock to "now" (call right before the client
   /// starts streaming so client session time and trace time align).
   void reset_trace_clock();
@@ -92,6 +100,8 @@ class ChunkServer {
   std::string mpd_;
   TraceShaper shaper_;
   std::mutex shaper_mutex_;
+  double speedup_;
+  FaultInjector* injector_ = nullptr;
   std::atomic<std::size_t> requests_served_{0};
 
   // Origin-side metrics (global registry; no-ops unless it is enabled).

@@ -1,0 +1,29 @@
+#include "net/faults.hpp"
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace abr::net {
+
+FaultInjector::FaultInjector(testing::FaultPlan plan) : plan_(plan) {
+  plan_.validate();
+}
+
+testing::FaultDecision FaultInjector::next(std::size_t chunk) {
+  std::size_t attempt = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempt = attempts_[chunk]++;
+  }
+  const testing::FaultDecision decision = plan_.decide(chunk, attempt);
+  if (decision.kind != testing::FaultKind::kNone) {
+    injected_.fetch_add(1);
+    obs::MetricsRegistry::global()
+        .counter(obs::kFaultsInjectedTotal,
+                 obs::fault_kind_label(testing::fault_kind_name(decision.kind)))
+        .increment();
+  }
+  return decision;
+}
+
+}  // namespace abr::net

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+#include "testing/fault_plan.hpp"
+
+namespace abr::net {
+
+/// Thread-safe, server-side realization of a FaultPlan: ChunkServer asks it
+/// what to do with each incoming segment request, and it answers with the
+/// plan's deterministic decision for (chunk, attempt).
+///
+/// Attempt numbers are counted per chunk across all connections, which
+/// matches the client's sequential retry loop: the first request for chunk k
+/// is attempt 0, the client's first retry is attempt 1, and so on — the same
+/// numbering FaultySource uses in virtual time, so a plan behaves the same
+/// on both paths. Injected faults are counted per kind in the global
+/// metrics registry.
+class FaultInjector {
+ public:
+  /// The plan is validate()d.
+  explicit FaultInjector(testing::FaultPlan plan);
+
+  /// Decision for the next request targeting `chunk` (advances that chunk's
+  /// attempt counter).
+  testing::FaultDecision next(std::size_t chunk);
+
+  const testing::FaultPlan& plan() const { return plan_; }
+
+  /// Total non-kNone decisions handed out.
+  std::size_t injected() const { return injected_.load(); }
+
+ private:
+  testing::FaultPlan plan_;
+  std::mutex mutex_;
+  std::map<std::size_t, std::size_t> attempts_;
+  std::atomic<std::size_t> injected_{0};
+};
+
+}  // namespace abr::net

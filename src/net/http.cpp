@@ -204,33 +204,49 @@ HttpResponse HttpConnection::read_response(const ProgressCallback& progress) {
   return response;
 }
 
-HttpClient::HttpClient(std::string host, std::uint16_t port)
-    : host_(std::move(host)), port_(port) {}
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+void HttpClient::set_timeout_ms(int timeout_ms) {
+  timeout_ms_ = timeout_ms;
+  connection_.reset();
+}
 
 void HttpClient::ensure_connected() {
   if (connection_.has_value()) return;
   TcpStream stream = TcpStream::connect(host_, port_);
   stream.set_no_delay(true);
-  stream.set_timeout_ms(120000);
+  stream.set_timeout_ms(timeout_ms_);
   connection_.emplace(std::move(stream));
+}
+
+HttpResponse HttpClient::request(const std::string& target,
+                                 const ProgressCallback& progress) {
+  HttpRequest http_request;
+  http_request.method = "GET";
+  http_request.target = target;
+
+  ensure_connected();
+  try {
+    connection_->write_request(http_request, host_);
+    HttpResponse response = connection_->read_response(progress);
+    const std::string* connection_header = response.headers.find("Connection");
+    if (connection_header != nullptr &&
+        util::iequals(*connection_header, "close")) {
+      connection_.reset();
+    }
+    return response;
+  } catch (...) {
+    connection_.reset();
+    throw;
+  }
 }
 
 HttpResponse HttpClient::get(const std::string& target,
                              const ProgressCallback& progress) {
-  HttpRequest request;
-  request.method = "GET";
-  request.target = target;
-
   for (int attempt = 0; attempt < 2; ++attempt) {
-    ensure_connected();
     try {
-      connection_->write_request(request, host_);
-      HttpResponse response = connection_->read_response(progress);
-      const std::string* connection_header = response.headers.find("Connection");
-      if (connection_header != nullptr &&
-          util::iequals(*connection_header, "close")) {
-        connection_.reset();
-      }
+      HttpResponse response = request(target, progress);
       if (response.status < 200 || response.status >= 300) {
         throw std::runtime_error("HTTP GET " + target + " -> " +
                                  std::to_string(response.status));
@@ -238,10 +254,8 @@ HttpResponse HttpClient::get(const std::string& target,
       return response;
     } catch (const std::invalid_argument&) {
       // Server closed the persistent connection under us; reconnect once.
-      connection_.reset();
       if (attempt == 1) throw;
     } catch (const std::system_error&) {
-      connection_.reset();
       if (attempt == 1) throw;
     }
   }

@@ -87,17 +87,34 @@ class HttpConnection {
 /// transparently after a server-side close.
 class HttpClient {
  public:
-  HttpClient(std::string host, std::uint16_t port);
+  /// `timeout_ms` is the socket-level deadline (SO_RCVTIMEO/SO_SNDTIMEO)
+  /// applied to every connection: a peer that accepts and then never
+  /// responds makes the blocked read fail with std::system_error
+  /// (EAGAIN/EWOULDBLOCK) after this long instead of hanging forever.
+  HttpClient(std::string host, std::uint16_t port, int timeout_ms = 120000);
 
-  /// GETs `target`; throws std::runtime_error on non-2xx.
+  /// Applies to connections established after the call (the current
+  /// connection, if any, is dropped so the next request reconnects).
+  void set_timeout_ms(int timeout_ms);
+
+  /// GETs `target`; throws std::runtime_error on non-2xx. Retries once on a
+  /// transport error (persistent connection closed under us).
   HttpResponse get(const std::string& target,
                    const ProgressCallback& progress = nullptr);
+
+  /// Single-attempt GET returning whatever status the server sent; never
+  /// retries internally (callers running their own RetryPolicy need every
+  /// attempt to be visible). On any thrown error the connection is dropped,
+  /// so the next call reconnects.
+  HttpResponse request(const std::string& target,
+                       const ProgressCallback& progress = nullptr);
 
  private:
   void ensure_connected();
 
   std::string host_;
   std::uint16_t port_;
+  int timeout_ms_;
   std::optional<HttpConnection> connection_;
 };
 

@@ -1,26 +1,46 @@
 #include "net/streaming_client.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <stdexcept>
+#include <system_error>
 #include <thread>
 
 #include "media/mpd.hpp"
 #include "net/chunk_server.hpp"
+#include "net/faults.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
 
 namespace abr::net {
 
+namespace {
+
+bool is_timeout(const std::system_error& error) {
+  const std::error_code& code = error.code();
+  return code == std::errc::resource_unavailable_try_again ||
+         code == std::errc::operation_would_block ||
+         code == std::errc::timed_out;
+}
+
+}  // namespace
+
 HttpChunkSource::HttpChunkSource(std::string host, std::uint16_t port,
                                  const media::VideoManifest& manifest,
-                                 double speedup)
-    : client_(host, port),
+                                 double speedup, sim::RetryPolicy retry,
+                                 std::uint64_t jitter_seed)
+    : client_(host, port, retry.request_timeout_ms),
       host_(std::move(host)),
       manifest_(&manifest),
       speedup_(speedup),
+      retry_(retry),
+      jitter_rng_(jitter_seed),
       epoch_(std::chrono::steady_clock::now()) {
   if (speedup <= 0.0) {
     throw std::invalid_argument("HttpChunkSource: non-positive speedup");
+  }
+  if (retry_.max_attempts == 0) {
+    throw std::invalid_argument("HttpChunkSource: max_attempts must be >= 1");
   }
 }
 
@@ -29,22 +49,64 @@ double HttpChunkSource::now() const {
   return std::chrono::duration<double>(elapsed).count() * speedup_;
 }
 
-sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk, std::size_t level) {
+sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk,
+                                         std::size_t level) {
   const std::string target = "/video/" + std::to_string(level) + "/seg-" +
                              std::to_string(chunk) + ".m4s";
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
+  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
+  obs::Counter& timeouts_total = registry.counter(obs::kFetchTimeoutsTotal);
+  obs::Counter& failures_total =
+      registry.counter(obs::kFetchAttemptFailuresTotal);
   obs::LatencyTimer latency(&registry.histogram(obs::kHttpFetchLatencyUs));
-  const auto start = std::chrono::steady_clock::now();
-  const HttpResponse response = client_.get(target);
-  const auto end = std::chrono::steady_clock::now();
-  latency.stop();
 
+  const double start_session_s = now();
   sim::FetchOutcome outcome;
-  outcome.duration_s =
-      std::max(std::chrono::duration<double>(end - start).count() * speedup_,
-               1e-6);
-  outcome.kilobits = static_cast<double>(response.body.size()) * 8.0 / 1000.0;
+  outcome.attempts = 0;
+
+  for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    ++outcome.attempts;
+    registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
+    bool delivered = false;
+    try {
+      const HttpResponse response = client_.request(target);
+      if (response.status >= 200 && response.status < 300) {
+        outcome.kilobits =
+            static_cast<double>(response.body.size()) * 8.0 / 1000.0;
+        delivered = true;
+      } else if (response.status < 500) {
+        // 3xx/4xx means client and origin disagree about the video — a
+        // configuration bug, not a transient transport fault.
+        throw std::runtime_error("HTTP GET " + target + " -> " +
+                                 std::to_string(response.status));
+      }
+      // 5xx: transient server failure; fall through to retry.
+    } catch (const std::system_error& error) {
+      if (is_timeout(error)) {
+        timeouts_total.increment();
+      }
+    } catch (const std::invalid_argument&) {
+      // Truncated/reset/malformed response; the connection was dropped.
+    }
+
+    if (delivered) {
+      outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+      latency.stop();
+      return outcome;
+    }
+    failures_total.increment();
+    if (attempt + 1 < retry_.max_attempts) {
+      retries_total.increment();
+      const double backoff_s = retry_.backoff_s(attempt + 1, jitter_rng_);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_s / speedup_));
+    }
+  }
+
+  outcome.failed = true;
+  outcome.kilobits = 0.0;
+  outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+  latency.stop();
   return outcome;
 }
 
@@ -68,11 +130,19 @@ sim::SessionResult run_emulated_session(
     const trace::ThroughputTrace& trace, const media::VideoManifest& manifest,
     const qoe::QoeModel& qoe, const sim::SessionConfig& config,
     sim::BitrateController& controller,
-    predict::ThroughputPredictor& predictor, double speedup) {
+    predict::ThroughputPredictor& predictor, double speedup,
+    const EmulationFaults* faults) {
   ChunkServer server(manifest, trace, speedup);
+  std::optional<FaultInjector> injector;
+  sim::RetryPolicy retry;
+  if (faults != nullptr) {
+    injector.emplace(faults->plan);
+    server.set_fault_injector(&*injector);
+    retry = faults->retry;
+  }
   server.start();
 
-  HttpChunkSource source("127.0.0.1", server.port(), manifest, speedup);
+  HttpChunkSource source("127.0.0.1", server.port(), manifest, speedup, retry);
   server.reset_trace_clock();
 
   sim::PlayerSession session(manifest, qoe, config);

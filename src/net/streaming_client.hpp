@@ -9,6 +9,8 @@
 #include "qoe/qoe.hpp"
 #include "sim/chunk_source.hpp"
 #include "sim/player.hpp"
+#include "testing/fault_plan.hpp"
+#include "util/rng.hpp"
 
 namespace abr::net {
 
@@ -17,12 +19,21 @@ namespace abr::net {
 /// PlayerSession turns the simulator into the paper's real-player emulation
 /// (Section 7.2): same controller, same buffer logic, but transfers cross an
 /// actual TCP connection shaped by the server.
+///
+/// Transport failures are survived, not propagated: each fetch runs the
+/// RetryPolicy's attempt loop — per-attempt socket deadline, capped
+/// exponential backoff with jitter from a seeded RNG — and reports
+/// exhaustion through FetchOutcome::failed so PlayerSession can degrade or
+/// skip. Retries, timeouts, and attempt failures are counted in the global
+/// metrics registry.
 class HttpChunkSource final : public sim::ChunkSource {
  public:
   /// The manifest must outlive the source. `speedup` must match the
-  /// server-side shaper's.
+  /// server-side shaper's. Backoff jitter derives from `jitter_seed`.
   HttpChunkSource(std::string host, std::uint16_t port,
-                  const media::VideoManifest& manifest, double speedup = 1.0);
+                  const media::VideoManifest& manifest, double speedup = 1.0,
+                  sim::RetryPolicy retry = {},
+                  std::uint64_t jitter_seed = 0x5eedULL);
 
   sim::FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
   void wait(double seconds) override;
@@ -37,18 +48,28 @@ class HttpChunkSource final : public sim::ChunkSource {
   std::string host_;
   const media::VideoManifest* manifest_;
   double speedup_;
+  sim::RetryPolicy retry_;
+  util::Rng jitter_rng_;
   std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Optional failure regime for run_emulated_session.
+struct EmulationFaults {
+  testing::FaultPlan plan;
+  sim::RetryPolicy retry;
 };
 
 /// Runs one full emulated streaming session: starts a shaped ChunkServer on
 /// loopback, streams the whole video through PlayerSession with the given
 /// controller/predictor, and returns the same SessionResult the simulator
 /// produces. `speedup` compresses the session (e.g., 20 => a 260 s video
-/// takes ~13 s of wall time).
+/// takes ~13 s of wall time). When `faults` is non-null the server injects
+/// the plan's failures and the client runs the given RetryPolicy.
 sim::SessionResult run_emulated_session(
     const trace::ThroughputTrace& trace, const media::VideoManifest& manifest,
     const qoe::QoeModel& qoe, const sim::SessionConfig& config,
     sim::BitrateController& controller,
-    predict::ThroughputPredictor& predictor, double speedup = 20.0);
+    predict::ThroughputPredictor& predictor, double speedup = 20.0,
+    const EmulationFaults* faults = nullptr);
 
 }  // namespace abr::net

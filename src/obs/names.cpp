@@ -8,6 +8,10 @@ std::string solve_algorithm_label(const std::string& algorithm) {
   return "algorithm=\"" + algorithm + "\"";
 }
 
+std::string fault_kind_label(const std::string& kind) {
+  return "kind=\"" + kind + "\"";
+}
+
 void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* algorithm : {"MPC", "RobustMPC", "FastMPC"}) {
     registry.histogram(kSolveLatencyUs, solve_algorithm_label(algorithm));
@@ -28,6 +32,15 @@ void register_standard_metrics(MetricsRegistry& registry) {
   registry.gauge(kHttpActiveConnections);
   registry.histogram(kHttpRequestLatencyUs);
   registry.histogram(kHttpFetchLatencyUs);
+  registry.counter(kFetchRetriesTotal);
+  registry.counter(kFetchTimeoutsTotal);
+  registry.counter(kFetchAttemptFailuresTotal);
+  registry.counter(kChunksDegradedTotal);
+  registry.counter(kChunksSkippedTotal);
+  for (const char* kind :
+       {"latency_spike", "stall", "partial_body", "reset", "http_error"}) {
+    registry.counter(kFaultsInjectedTotal, fault_kind_label(kind));
+  }
 }
 
 }  // namespace abr::obs

@@ -39,8 +39,20 @@ inline constexpr char kHttpRequestLatencyUs[] = "abr_http_request_latency_us";
 inline constexpr char kHttpFetchLatencyUs[] =
     "abr_http_client_fetch_latency_us";
 
+// Fault injection and resilience (testing/, net/, sim/).
+inline constexpr char kFetchRetriesTotal[] = "abr_fetch_retries_total";
+inline constexpr char kFetchTimeoutsTotal[] = "abr_fetch_timeouts_total";
+inline constexpr char kFetchAttemptFailuresTotal[] =
+    "abr_fetch_attempt_failures_total";
+inline constexpr char kChunksDegradedTotal[] = "abr_chunks_degraded_total";
+inline constexpr char kChunksSkippedTotal[] = "abr_chunks_skipped_total";
+inline constexpr char kFaultsInjectedTotal[] = "abr_faults_injected_total";
+
 /// Label body for a solve-latency histogram, e.g. algorithm="MPC".
 std::string solve_algorithm_label(const std::string& algorithm);
+
+/// Label body for a fault counter, e.g. kind="reset".
+std::string fault_kind_label(const std::string& kind);
 
 /// Pre-registers the standard metric families above (with the solve-latency
 /// histograms for MPC, RobustMPC, and FastMPC) so a metrics dump shows the

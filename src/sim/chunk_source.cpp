@@ -1,8 +1,23 @@
 #include "sim/chunk_source.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
 
 namespace abr::sim {
+
+double RetryPolicy::backoff_s(std::size_t failed_attempts,
+                              util::Rng& rng) const {
+  assert(failed_attempts >= 1);
+  const double base =
+      initial_backoff_s *
+      std::pow(backoff_multiplier, static_cast<double>(failed_attempts - 1));
+  const double capped = std::min(base, max_backoff_s);
+  const double jitter = jitter_fraction * rng.uniform(-1.0, 1.0);
+  return std::max(0.0, capped * (1.0 + jitter));
+}
 
 TraceChunkSource::TraceChunkSource(const trace::ThroughputTrace& trace,
                                    const media::VideoManifest& manifest)

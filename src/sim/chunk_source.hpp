@@ -1,16 +1,43 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "media/manifest.hpp"
 #include "trace/throughput_trace.hpp"
 
+namespace abr::util {
+class Rng;
+}
+
 namespace abr::sim {
 
-/// Outcome of one chunk transfer.
+/// Outcome of one chunk transfer (possibly spanning several attempts).
 struct FetchOutcome {
-  double duration_s = 0.0;   ///< wall (or virtual) time the transfer took
+  double duration_s = 0.0;   ///< wall (or virtual) time the transfer took,
+                             ///< including failed attempts and backoff
   double kilobits = 0.0;     ///< payload size actually transferred
+  bool failed = false;       ///< every attempt failed; kilobits is 0
+  std::size_t attempts = 1;  ///< attempts consumed (>= 1)
+};
+
+/// Transport retry semantics shared by the real-HTTP client and the
+/// virtual-time fault injector: per-attempt deadline, capped exponential
+/// backoff with jitter drawn from a seeded RNG (deterministic runs stay
+/// deterministic), bounded attempt count.
+struct RetryPolicy {
+  std::size_t max_attempts = 4;
+  double initial_backoff_s = 0.2;   ///< session seconds before attempt 2
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 5.0;       ///< cap on the exponential growth
+  double jitter_fraction = 0.25;    ///< backoff scaled by 1 +/- this * u
+  int request_timeout_ms = 10000;   ///< per-attempt socket deadline (wall
+                                    ///< clock; real-network sources only)
+
+  /// Backoff before the next attempt after `failed_attempts` (>= 1)
+  /// consecutive failures, in session seconds. Jitter comes from `rng` so a
+  /// seeded caller gets a reproducible schedule.
+  double backoff_s(std::size_t failed_attempts, util::Rng& rng) const;
 };
 
 /// Where chunks come from and how time passes while they do.

@@ -55,6 +55,8 @@ SessionResult PlayerSession::run(ChunkSource& source,
   obs::Counter& chunks_total = registry.counter(obs::kChunksDownloadedTotal);
   obs::Counter& rebuffer_total = registry.counter(obs::kRebufferSecondsTotal);
   obs::Counter& wait_total = registry.counter(obs::kWaitSecondsTotal);
+  obs::Counter& degraded_total = registry.counter(obs::kChunksDegradedTotal);
+  obs::Counter& skipped_total = registry.counter(obs::kChunksSkippedTotal);
   obs::Counter& sessions_total = registry.counter(obs::kSessionsTotal);
   obs::Gauge& buffer_gauge = registry.gauge(obs::kBufferLevelSeconds);
   obs::Histogram& download_hist =
@@ -150,10 +152,33 @@ SessionResult PlayerSession::run(ChunkSource& source,
     record.buffer_before_s = buffer_s;
     record.predicted_kbps = predictions.empty() ? 0.0 : predictions.front();
 
-    const FetchOutcome outcome = source.fetch(k, level);
+    FetchOutcome outcome = source.fetch(k, level);
+    bool degraded = false;
+    if (outcome.failed && config_.degrade_on_failure && level != 0) {
+      // Graceful degradation: the chosen level failed every attempt, so
+      // fall back to the lowest rung before giving up on the chunk.
+      degraded = true;
+      level = 0;
+      record.level = 0;
+      record.bitrate_kbps = manifest.bitrate_kbps(0);
+      record.size_kilobits = manifest.chunk_kilobits(k, 0);
+      FetchOutcome fallback = source.fetch(k, 0);
+      fallback.duration_s += outcome.duration_s;
+      fallback.attempts += outcome.attempts;
+      outcome = fallback;
+    }
+    const bool skipped = outcome.failed;
+    if (skipped) {
+      record.bitrate_kbps = 0.0;
+      record.size_kilobits = 0.0;
+    }
+    record.attempts = outcome.attempts;
+    record.degraded = degraded;
+    record.skipped = skipped;
     assert(outcome.duration_s > 0.0);
     record.download_s = outcome.duration_s;
-    record.throughput_kbps = outcome.kilobits / outcome.duration_s;
+    record.throughput_kbps =
+        skipped ? 0.0 : outcome.kilobits / outcome.duration_s;
 
     // 4. Buffer dynamics during the download (Eq. (3)).
     double rebuffer_s = 0.0;
@@ -166,10 +191,17 @@ SessionResult PlayerSession::run(ChunkSource& source,
       startup_delay = config_.fixed_startup_delay_s;
       rebuffer_s = drain(source.now() - config_.fixed_startup_delay_s);
     }
-    buffer_s += chunk_duration;
+    if (skipped) {
+      // The chunk never arrived: the viewer loses its whole duration, which
+      // Eq. (5) charges as a stall (skip-with-rebuffer accounting).
+      rebuffer_s += chunk_duration;
+    } else {
+      buffer_s += chunk_duration;
+    }
 
-    // 5. Startup transitions that trigger on chunk completion.
-    if (!playing) {
+    // 5. Startup transitions that trigger on chunk completion. A skipped
+    // chunk delivers nothing, so it cannot start playback.
+    if (!playing && !skipped) {
       switch (config_.startup_policy) {
         case StartupPolicy::kFirstChunk:
           playing = true;
@@ -215,6 +247,8 @@ SessionResult PlayerSession::run(ChunkSource& source,
     chunks_total.increment();
     rebuffer_total.increment(rebuffer_s);
     wait_total.increment(wait_s);
+    if (degraded) degraded_total.increment();
+    if (skipped) skipped_total.increment();
     download_hist.observe(record.download_s);
     buffer_gauge.set(buffer_s);
     if (tracer != nullptr) {
@@ -235,6 +269,12 @@ SessionResult PlayerSession::run(ChunkSource& source,
         tracer->complete("wait", "playback", wait_start_s, wait_s, track,
                          {{"chunk", k}});
       }
+      if (degraded) {
+        tracer->instant("degraded", "net", record.start_s, track);
+      }
+      if (skipped) {
+        tracer->instant("chunk_skipped", "net", record.start_s, track);
+      }
       if (playing && !playback_start_emitted) {
         tracer->instant("playback_start", "playback", startup_delay, track);
         playback_start_emitted = true;
@@ -245,9 +285,13 @@ SessionResult PlayerSession::run(ChunkSource& source,
     }
 
     qoe_acc.add_chunk(record.bitrate_kbps, rebuffer_s);
-    history_kbps.push_back(record.throughput_kbps);
-    prev_level = level;
-    has_prev = true;
+    if (!skipped) {
+      // A skipped chunk yields no throughput sample and no played level:
+      // predictors and controllers keep seeing the last real transfer.
+      history_kbps.push_back(record.throughput_kbps);
+      prev_level = level;
+      has_prev = true;
+    }
   }
 
   // A fixed startup delay later than the whole download still counts.
@@ -274,6 +318,9 @@ SessionResult PlayerSession::run(ChunkSource& source,
     bitrate_sum += r.bitrate_kbps;
     wait_sum += r.wait_s;
     if (r.rebuffer_s > 0.0) ++stalled_chunks;
+    if (r.degraded) ++result.degraded_chunks;
+    if (r.skipped) ++result.skipped_chunks;
+    result.total_attempts += r.attempts;
     if (k > 0) {
       const double delta =
           std::abs(r.bitrate_kbps - result.chunks[k - 1].bitrate_kbps);

@@ -52,6 +52,13 @@ struct SessionConfig {
   /// Trace-event thread id for this session's spans; multi-session
   /// timelines give each player its own track.
   int trace_track = 0;
+
+  /// Failure handling when a ChunkSource reports an exhausted transfer
+  /// (FetchOutcome::failed). When true, the player falls back to the lowest
+  /// ladder rung for that chunk; if even that fails, the chunk is skipped
+  /// and its full duration is charged as rebuffering, so QoE (Eq. 5) pays
+  /// for the gap honestly. When false, a failed chunk skips immediately.
+  bool degrade_on_failure = true;
 };
 
 /// Per-chunk log entry, mirroring the logging our dash.js modification
@@ -69,6 +76,11 @@ struct ChunkRecord {
   double buffer_after_s = 0.0;     ///< buffer after append and any wait
   double rebuffer_s = 0.0;         ///< stall incurred during this download
   double wait_s = 0.0;             ///< buffer-full wait after this chunk
+
+  std::size_t attempts = 1;        ///< transfer attempts across all levels
+  bool degraded = false;           ///< fell back to the lowest rung
+  bool skipped = false;            ///< never delivered; duration charged as
+                                   ///< rebuffering, bitrate recorded as 0
 };
 
 /// Complete outcome of one streaming session.
@@ -87,6 +99,11 @@ struct SessionResult {
 
   /// Fraction of chunks with any rebuffering.
   double rebuffer_chunk_fraction = 0.0;
+
+  // Failure handling (non-zero only under fault injection / real networks).
+  std::size_t degraded_chunks = 0;  ///< chunks forced to the lowest rung
+  std::size_t skipped_chunks = 0;   ///< chunks never delivered
+  std::size_t total_attempts = 0;   ///< transfer attempts across the session
 };
 
 /// The reference player: downloads chunks sequentially, makes one bitrate

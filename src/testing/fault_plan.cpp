@@ -1,0 +1,238 @@
+#include "testing/fault_plan.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace abr::testing {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kLatencySpike: return "latency_spike";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kPartialBody: return "partial_body";
+    case FaultKind::kReset: return "reset";
+    case FaultKind::kHttpError: return "http_error";
+  }
+  return "unknown";
+}
+
+double FaultPlan::total_rate() const {
+  return latency_rate + stall_rate + partial_rate + reset_rate +
+         http_error_rate;
+}
+
+void FaultPlan::validate() const {
+  const auto require = [](bool ok, const char* what) {
+    if (!ok) throw std::invalid_argument(std::string("FaultPlan: ") + what);
+  };
+  for (const double rate : {latency_rate, stall_rate, partial_rate, reset_rate,
+                            http_error_rate}) {
+    require(rate >= 0.0 && rate <= 1.0, "rates must be in [0, 1]");
+  }
+  require(total_rate() <= 1.0 + 1e-12, "rates must sum to at most 1");
+  require(latency_min_s > 0.0 && latency_min_s <= latency_max_s,
+          "latency range must satisfy 0 < min <= max");
+  require(stall_min_s > 0.0 && stall_min_s <= stall_max_s,
+          "stall range must satisfy 0 < min <= max");
+  require(http_status >= 500 && http_status <= 599,
+          "http_status must be a 5xx code");
+  require(error_response_s > 0.0, "error_response_s must be positive");
+  require(reset_delay_s > 0.0, "reset_delay_s must be positive");
+}
+
+FaultDecision FaultPlan::decide(std::size_t chunk, std::size_t attempt) const {
+  FaultDecision decision;
+  if (attempt >= max_faulty_attempts) return decision;
+
+  // One independent, reproducible stream per (chunk, attempt): the Rng's
+  // splitmix seeding decorrelates the nearby keys.
+  util::Rng rng(seed ^ (static_cast<std::uint64_t>(chunk) *
+                            0xBF58476D1CE4E5B9ULL +
+                        (static_cast<std::uint64_t>(attempt) + 1) *
+                            0x94D049BB133111EBULL));
+  double u = rng.uniform();
+  if (u < latency_rate) {
+    decision.kind = FaultKind::kLatencySpike;
+    decision.latency_s = rng.uniform(latency_min_s, latency_max_s);
+    return decision;
+  }
+  u -= latency_rate;
+  if (u < stall_rate) {
+    decision.kind = FaultKind::kStall;
+    decision.stall_s = rng.uniform(stall_min_s, stall_max_s);
+    decision.body_fraction = rng.uniform(0.1, 0.9);
+    return decision;
+  }
+  u -= stall_rate;
+  if (u < partial_rate) {
+    decision.kind = FaultKind::kPartialBody;
+    decision.body_fraction = rng.uniform(0.1, 0.9);
+    return decision;
+  }
+  u -= partial_rate;
+  if (u < reset_rate) {
+    decision.kind = FaultKind::kReset;
+    return decision;
+  }
+  u -= reset_rate;
+  if (u < http_error_rate) {
+    decision.kind = FaultKind::kHttpError;
+    return decision;
+  }
+  return decision;
+}
+
+std::string FaultPlan::to_json() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"latency_rate\": " << latency_rate << ",\n"
+      << "  \"stall_rate\": " << stall_rate << ",\n"
+      << "  \"partial_rate\": " << partial_rate << ",\n"
+      << "  \"reset_rate\": " << reset_rate << ",\n"
+      << "  \"http_error_rate\": " << http_error_rate << ",\n"
+      << "  \"latency_min_s\": " << latency_min_s << ",\n"
+      << "  \"latency_max_s\": " << latency_max_s << ",\n"
+      << "  \"stall_min_s\": " << stall_min_s << ",\n"
+      << "  \"stall_max_s\": " << stall_max_s << ",\n"
+      << "  \"http_status\": " << http_status << ",\n"
+      << "  \"error_response_s\": " << error_response_s << ",\n"
+      << "  \"reset_delay_s\": " << reset_delay_s << ",\n"
+      << "  \"max_faulty_attempts\": " << max_faulty_attempts << "\n"
+      << "}\n";
+  return out.str();
+}
+
+namespace {
+
+/// Minimal parser for the flat {"key": number, ...} subset FaultPlan uses.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(std::string_view text) : text_(text) {}
+
+  /// Calls visit(key, value) for every pair; throws on malformed input.
+  template <typename Visitor>
+  void parse(Visitor&& visit) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const double value = parse_number();
+      visit(key, value);
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::invalid_argument(std::string("FaultPlan JSON: ") + what);
+  }
+  char peek() const {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (peek() != '"') out.push_back(text_[pos_++]);
+    ++pos_;
+    return out;
+  }
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a number");
+    const std::string token(text_.substr(start, pos_ - start));
+    std::size_t consumed = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(token, &consumed);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    if (consumed != token.size()) fail("bad number");
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FaultPlan FaultPlan::from_json(std::string_view json) {
+  FaultPlan plan;
+  FlatJsonParser parser(json);
+  parser.parse([&plan](const std::string& key, double value) {
+    if (key == "seed") plan.seed = static_cast<std::uint64_t>(value);
+    else if (key == "latency_rate") plan.latency_rate = value;
+    else if (key == "stall_rate") plan.stall_rate = value;
+    else if (key == "partial_rate") plan.partial_rate = value;
+    else if (key == "reset_rate") plan.reset_rate = value;
+    else if (key == "http_error_rate") plan.http_error_rate = value;
+    else if (key == "latency_min_s") plan.latency_min_s = value;
+    else if (key == "latency_max_s") plan.latency_max_s = value;
+    else if (key == "stall_min_s") plan.stall_min_s = value;
+    else if (key == "stall_max_s") plan.stall_max_s = value;
+    else if (key == "http_status") plan.http_status = static_cast<int>(value);
+    else if (key == "error_response_s") plan.error_response_s = value;
+    else if (key == "reset_delay_s") plan.reset_delay_s = value;
+    else if (key == "max_faulty_attempts")
+      plan.max_faulty_attempts = static_cast<std::size_t>(value);
+    else
+      throw std::invalid_argument("FaultPlan JSON: unknown key '" + key + "'");
+  });
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("FaultPlan: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+}  // namespace abr::testing

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace abr::testing {
+
+/// The transport pathologies the fault framework can inject. Each maps to a
+/// concrete behaviour on both the real-HTTP path (ChunkServer +
+/// HttpChunkSource) and the virtual-time path (FaultySource), so every
+/// benchmark scenario can be rerun under failure either way.
+enum class FaultKind {
+  kNone,
+  kLatencySpike,  ///< first-byte delay before the response
+  kStall,         ///< mid-body pause; the transfer then completes
+  kPartialBody,   ///< body truncated mid-transfer, connection closed
+  kReset,         ///< connection torn down before the response
+  kHttpError,     ///< well-formed HTTP error response (5xx)
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// What happens to one request attempt. Produced by FaultPlan::decide.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double latency_s = 0.0;      ///< kLatencySpike: extra delay, session seconds
+  double stall_s = 0.0;        ///< kStall: pause duration, session seconds
+  double body_fraction = 0.5;  ///< kStall/kPartialBody: where in the body
+};
+
+/// A deterministic, seeded fault schedule.
+///
+/// The decision for a request is a pure function of (seed, chunk index,
+/// attempt number): no global state, no wall clock. Two runs of the same
+/// plan against the same deterministic client therefore inject the same
+/// faults at the same points, which is what makes `abrsim --faults` produce
+/// bit-identical chunk logs across runs.
+///
+/// Rates are per-attempt probabilities evaluated in the order latency,
+/// stall, partial, reset, http_error; at most one fault fires per attempt.
+/// Attempts numbered >= max_faulty_attempts are never faulted, so a client
+/// with enough retry budget always makes progress (no livelock by
+/// construction).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double latency_rate = 0.0;
+  double stall_rate = 0.0;
+  double partial_rate = 0.0;
+  double reset_rate = 0.0;
+  double http_error_rate = 0.0;
+
+  double latency_min_s = 0.2;
+  double latency_max_s = 2.0;
+  double stall_min_s = 0.5;
+  double stall_max_s = 3.0;
+
+  int http_status = 503;          ///< status used by kHttpError (5xx)
+  double error_response_s = 0.1;  ///< virtual-time cost of a 5xx round trip
+  double reset_delay_s = 0.2;     ///< virtual-time cost of a reset attempt
+
+  /// Attempts >= this value are never faulted (progress guarantee). Raise it
+  /// past the client's retry budget to create chunks that fail outright and
+  /// exercise degradation/skip.
+  std::size_t max_faulty_attempts = 2;
+
+  /// Sum of the five rates (the per-attempt fault probability).
+  double total_rate() const;
+
+  /// Throws std::invalid_argument on out-of-range fields (negative rates,
+  /// sum > 1, inverted magnitude ranges, non-5xx status, ...).
+  void validate() const;
+
+  /// The (deterministic) fate of attempt `attempt` at chunk `chunk`.
+  FaultDecision decide(std::size_t chunk, std::size_t attempt) const;
+
+  /// Flat JSON object with every field, parseable by from_json.
+  std::string to_json() const;
+
+  /// Parses a flat JSON object of numbers, e.g.
+  ///   {"seed": 42, "reset_rate": 0.1, "stall_rate": 0.1, "stall_max_s": 2}
+  /// Unlisted fields keep their defaults; unknown keys throw
+  /// std::invalid_argument. The result is validate()d.
+  static FaultPlan from_json(std::string_view json);
+
+  /// from_json over a file's contents; throws std::runtime_error if the
+  /// file cannot be read.
+  static FaultPlan load(const std::string& path);
+};
+
+}  // namespace abr::testing

@@ -1,0 +1,95 @@
+#include "testing/faulty_source.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace abr::testing {
+
+FaultySource::FaultySource(sim::ChunkSource& inner, FaultPlan plan,
+                           sim::RetryPolicy retry)
+    : inner_(&inner),
+      plan_(plan),
+      retry_(retry),
+      jitter_rng_(plan.seed ^ 0xA5A5A5A5A5A5A5A5ULL) {
+  plan_.validate();
+}
+
+sim::FetchOutcome FaultySource::fetch(std::size_t chunk, std::size_t level) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
+  obs::Counter& failures_total =
+      registry.counter(obs::kFetchAttemptFailuresTotal);
+
+  std::size_t& used = attempts_used_[chunk];
+  const double start_s = inner_->now();
+  sim::FetchOutcome outcome;
+  outcome.attempts = 0;
+
+  for (std::size_t local = 0; local < retry_.max_attempts; ++local) {
+    const std::size_t attempt = used++;
+    ++outcome.attempts;
+    const FaultDecision decision = plan_.decide(chunk, attempt);
+    if (decision.kind != FaultKind::kNone) {
+      ++faults_injected_;
+      registry
+          .counter(obs::kFaultsInjectedTotal,
+                   obs::fault_kind_label(fault_kind_name(decision.kind)))
+          .increment();
+    }
+
+    bool delivered = false;
+    switch (decision.kind) {
+      case FaultKind::kNone: {
+        const sim::FetchOutcome inner = inner_->fetch(chunk, level);
+        outcome.kilobits = inner.kilobits;
+        delivered = true;
+        break;
+      }
+      case FaultKind::kLatencySpike: {
+        inner_->wait(decision.latency_s);
+        const sim::FetchOutcome inner = inner_->fetch(chunk, level);
+        outcome.kilobits = inner.kilobits;
+        delivered = true;
+        break;
+      }
+      case FaultKind::kStall: {
+        const sim::FetchOutcome inner = inner_->fetch(chunk, level);
+        inner_->wait(decision.stall_s);
+        outcome.kilobits = inner.kilobits;
+        delivered = true;
+        break;
+      }
+      case FaultKind::kPartialBody:
+        // The bytes flowed (time elapses), then the connection died and the
+        // truncated body is discarded.
+        inner_->fetch(chunk, level);
+        break;
+      case FaultKind::kReset:
+        inner_->wait(plan_.reset_delay_s);
+        break;
+      case FaultKind::kHttpError:
+        inner_->wait(plan_.error_response_s);
+        break;
+    }
+
+    if (delivered) {
+      outcome.duration_s = std::max(inner_->now() - start_s, 1e-9);
+      return outcome;
+    }
+    failures_total.increment();
+    if (local + 1 < retry_.max_attempts) {
+      ++retries_;
+      retries_total.increment();
+      inner_->wait(retry_.backoff_s(local + 1, jitter_rng_));
+    }
+  }
+
+  outcome.failed = true;
+  outcome.kilobits = 0.0;
+  outcome.duration_s = std::max(inner_->now() - start_s, 1e-9);
+  return outcome;
+}
+
+}  // namespace abr::testing

@@ -1,0 +1,118 @@
+// Golden-file regression for the MPC family: the exact decision sequence
+// (and resulting session dynamics) of MPC, RobustMPC, and FastMPC on two
+// fixed seeded traces is committed under tests/golden/ and must never drift
+// unintentionally. Everything in the pipeline is deterministic, so the
+// comparison is bit-exact on the serialized log.
+//
+// To regenerate after an *intentional* behaviour change:
+//   ABR_UPDATE_GOLDEN=1 ./build/tests/abr_tests --gtest_filter='GoldenDecisions.*'
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/algorithms.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+
+#ifndef ABR_GOLDEN_DIR
+#error "ABR_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace abr {
+namespace {
+
+struct GoldenTrace {
+  const char* key;
+  trace::ThroughputTrace trace;
+};
+
+std::vector<GoldenTrace> golden_traces() {
+  std::vector<GoldenTrace> traces;
+  traces.push_back({"hsdpa2024",
+                    trace::make_dataset(trace::DatasetKind::kHsdpa, 1, 320.0,
+                                        2024)[0]});
+  traces.push_back({"fcc7", trace::make_dataset(trace::DatasetKind::kFcc, 1,
+                                                320.0, 7)[0]});
+  return traces;
+}
+
+/// Serializes a session to the golden format: one line per chunk with the
+/// decision and its measurable consequences, then the session QoE. %.17g
+/// round-trips doubles exactly, so equality of the text implies equality of
+/// the underlying numbers.
+std::string serialize(const char* algorithm, const char* trace_key,
+                      const sim::SessionResult& result) {
+  std::ostringstream out;
+  out << "# algorithm=" << algorithm << " trace=" << trace_key << "\n";
+  out << "# chunk level bitrate_kbps download_s rebuffer_s\n";
+  char line[160];
+  for (const auto& record : result.chunks) {
+    std::snprintf(line, sizeof(line), "%zu %zu %.17g %.17g %.17g\n",
+                  record.index, record.level, record.bitrate_kbps,
+                  record.download_s, record.rebuffer_s);
+    out << line;
+  }
+  char footer[64];
+  std::snprintf(footer, sizeof(footer), "qoe %.17g\n", result.qoe);
+  out << footer;
+  return out.str();
+}
+
+void check_golden(core::Algorithm algorithm, const char* key,
+                  const core::AlgorithmOptions& options) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = abr::testing::balanced_qoe();
+  const bool update = std::getenv("ABR_UPDATE_GOLDEN") != nullptr;
+
+  for (const auto& golden : golden_traces()) {
+    auto instance = core::make_algorithm(algorithm, manifest, qoe, options);
+    const auto result =
+        sim::simulate(golden.trace, manifest, qoe, {}, *instance.controller,
+                      *instance.predictor);
+    const std::string actual = serialize(key, golden.key, result);
+    const std::string path = std::string(ABR_GOLDEN_DIR) + "/" + key + "_" +
+                             golden.key + ".txt";
+    if (update) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with ABR_UPDATE_GOLDEN=1";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "decision log for " << key << " on " << golden.key
+        << " drifted from " << path
+        << " — if the change is intentional, regenerate with "
+           "ABR_UPDATE_GOLDEN=1 and review the diff";
+  }
+}
+
+TEST(GoldenDecisions, MpcIsBitExact) {
+  check_golden(core::Algorithm::kMpc, "mpc", {});
+}
+
+TEST(GoldenDecisions, RobustMpcIsBitExact) {
+  check_golden(core::Algorithm::kRobustMpc, "robustmpc", {});
+}
+
+TEST(GoldenDecisions, FastMpcIsBitExact) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = abr::testing::balanced_qoe();
+  core::AlgorithmOptions options;
+  options.fastmpc_table = core::default_fastmpc_table(manifest, qoe, 30.0);
+  check_golden(core::Algorithm::kFastMpc, "fastmpc", options);
+}
+
+}  // namespace
+}  // namespace abr

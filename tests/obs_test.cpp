@@ -202,6 +202,45 @@ TEST(Metrics, ConcurrentCounterIncrementsFromParallelFor) {
   EXPECT_DOUBLE_EQ(histogram.snapshot().max, 99.0);
 }
 
+TEST(Metrics, CountersStayExactUnderConcurrentRetryLoops) {
+  // The shape produced by fault injection: many clients in parallel, each
+  // running a retry loop that bumps shared retry/timeout/failure counters
+  // and per-kind labeled fault counters. Totals must be exact — a lost
+  // update here would silently corrupt every fault-matrix report.
+  MetricsRegistry registry;
+  Counter& retries = registry.counter(kFetchRetriesTotal);
+  Counter& timeouts = registry.counter(kFetchTimeoutsTotal);
+  Counter& failures = registry.counter(kFetchAttemptFailuresTotal);
+  Counter& resets =
+      registry.counter(kFaultsInjectedTotal, "kind=\"reset\"");
+  Counter& stalls =
+      registry.counter(kFaultsInjectedTotal, "kind=\"stall\"");
+
+  constexpr std::size_t kClients = 64;
+  constexpr std::size_t kAttemptsPerClient = 500;
+  util::parallel_for(
+      kClients,
+      [&](std::size_t client) {
+        for (std::size_t attempt = 0; attempt < kAttemptsPerClient;
+             ++attempt) {
+          failures.increment();
+          if (attempt + 1 < kAttemptsPerClient) retries.increment();
+          if (attempt % 3 == 0) timeouts.increment();
+          ((client + attempt) % 2 == 0 ? resets : stalls).increment();
+        }
+      },
+      8);
+
+  const double total = kClients * kAttemptsPerClient;
+  EXPECT_DOUBLE_EQ(failures.value(), total);
+  EXPECT_DOUBLE_EQ(retries.value(),
+                   static_cast<double>(kClients * (kAttemptsPerClient - 1)));
+  // ceil(500 / 3) = 167 timeouts per client.
+  EXPECT_DOUBLE_EQ(timeouts.value(), static_cast<double>(kClients * 167));
+  EXPECT_DOUBLE_EQ(resets.value() + stalls.value(), total);
+  EXPECT_DOUBLE_EQ(resets.value(), total / 2.0);  // exact half by parity
+}
+
 TEST(Metrics, HistogramPercentilesMatchSortedOracle) {
   // Fine linear buckets (width 10 over [0, 10000]): the interpolation
   // error must stay within one bucket width.

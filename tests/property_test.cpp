@@ -3,6 +3,7 @@
 // per-module suites with parameterized sweeps over whole-session behaviour.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
 
 #include "core/algorithms.hpp"
@@ -128,6 +129,123 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name;
     });
+
+/// Replays Eqs. (1)-(4) over a session's chunk log and asserts the recorded
+/// dynamics match: the buffer stays in [0, Bmax], every stall equals the
+/// shortfall of buffered video against the download time, and every
+/// buffer-full wait equals the excess over capacity. This is the paper's
+/// buffer model checked independently of the player that produced the log.
+/// Assumes the default kFirstChunk startup policy and no skipped chunks.
+void check_buffer_dynamics(const sim::SessionResult& result,
+                           double chunk_duration, double capacity) {
+  double buffer_s = 0.0;
+  bool playing = false;
+  double rebuffer_sum = 0.0;
+  for (const sim::ChunkRecord& r : result.chunks) {
+    ASSERT_FALSE(r.skipped);
+    ASSERT_NEAR(r.buffer_before_s, buffer_s, 1e-9) << "chunk " << r.index;
+    // Eq. (1)/(3): the buffer drains during the download once playing; time
+    // not covered by buffered video is a stall.
+    const double stall =
+        playing ? std::max(0.0, r.download_s - buffer_s) : 0.0;
+    if (playing) buffer_s = std::max(0.0, buffer_s - r.download_s);
+    // The finished chunk appends its duration.
+    buffer_s += chunk_duration;
+    if (!playing) playing = true;  // kFirstChunk
+    // Eq. (4): the player idles off any excess over Bmax before the next
+    // request.
+    const double wait = std::max(0.0, buffer_s - capacity);
+    buffer_s = std::min(buffer_s, capacity);
+
+    ASSERT_NEAR(r.rebuffer_s, stall, 1e-9) << "chunk " << r.index;
+    ASSERT_NEAR(r.wait_s, wait, 1e-9) << "chunk " << r.index;
+    ASSERT_NEAR(r.buffer_after_s, buffer_s, 1e-9) << "chunk " << r.index;
+    ASSERT_GE(r.buffer_after_s, 0.0);
+    ASSERT_LE(r.buffer_after_s, capacity + 1e-9);
+    ASSERT_GE(r.rebuffer_s, 0.0);
+    ASSERT_GE(r.wait_s, 0.0);
+    rebuffer_sum += stall;
+  }
+  ASSERT_NEAR(result.total_rebuffer_s, rebuffer_sum, 1e-9);
+}
+
+/// Buffer dynamics hold for every algorithm under the paper's Bmax = 30 s.
+TEST_P(SessionProperties, BufferDynamicsFollowEqs1Through4) {
+  const auto [algorithm, preference] = GetParam();
+  const auto manifest = media::VideoManifest::envivio_default();
+  const qoe::QoeModel model(media::QualityFunction::identity(),
+                            qoe::preset_weights(preference));
+  core::AlgorithmOptions options;
+  options.fastmpc_table = cached_table(manifest, preference, model);
+  auto instance = core::make_algorithm(algorithm, manifest, model, options);
+
+  sim::SessionConfig config;
+  for (const auto& trace : traces()) {
+    const auto result = sim::simulate(trace, manifest, model, config,
+                                      *instance.controller,
+                                      *instance.predictor);
+    check_buffer_dynamics(result, manifest.chunk_duration_s(),
+                          config.buffer_capacity_s);
+  }
+}
+
+/// ... and for random scripts under tight capacities, where the wait path
+/// (Eq. 4) and the empty-buffer stall path (Eq. 3) both trigger often.
+TEST(BufferDynamics, InvariantsHoldForRandomScriptedSessions) {
+  util::Rng rng(31);
+  const auto manifest = testing::small_manifest();
+  const auto model = testing::balanced_qoe();
+  const double capacities[] = {6.0, 12.0, 30.0};
+  for (int trial = 0; trial < 30; ++trial) {
+    util::Rng trace_rng = rng.split();
+    const auto trace = trace::HsdpaLikeConfig{}.generate(trace_rng, 120.0);
+    std::vector<std::size_t> script(manifest.chunk_count());
+    for (auto& level : script) {
+      level = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    }
+    for (const double capacity : capacities) {
+      testing::ScriptedController controller(script);
+      testing::ConstantPredictor predictor(trace.mean_kbps());
+      sim::SessionConfig config;
+      config.buffer_capacity_s = capacity;
+      const auto result = sim::simulate(trace, manifest, model, config,
+                                        controller, predictor);
+      check_buffer_dynamics(result, manifest.chunk_duration_s(), capacity);
+    }
+  }
+}
+
+/// With a constant link, download times are exactly size/C (Eq. 2 with a
+/// flat integrand), so the whole buffer trajectory is predictable in closed
+/// form; the recorded log must match it.
+TEST(BufferDynamics, ConstantLinkMatchesClosedForm) {
+  const auto manifest = testing::small_manifest();
+  const auto model = testing::balanced_qoe();
+  const double rate_kbps = 1100.0;
+  const auto trace = trace::ThroughputTrace::constant(rate_kbps, 1000.0);
+  std::vector<std::size_t> script(manifest.chunk_count(), 2);  // 1500 kbps
+  testing::ScriptedController controller(script);
+  testing::ConstantPredictor predictor(rate_kbps);
+  sim::SessionConfig config;
+  const auto result =
+      sim::simulate(trace, manifest, model, config, controller, predictor);
+
+  double buffer_s = 0.0;
+  bool playing = false;
+  for (const sim::ChunkRecord& r : result.chunks) {
+    const double expected_download =
+        manifest.chunk_kilobits(r.index, r.level) / rate_kbps;
+    ASSERT_NEAR(r.download_s, expected_download, 1e-9) << "chunk " << r.index;
+    const double stall =
+        playing ? std::max(0.0, expected_download - buffer_s) : 0.0;
+    if (playing) buffer_s = std::max(0.0, buffer_s - expected_download);
+    buffer_s += manifest.chunk_duration_s();
+    playing = true;
+    buffer_s = std::min(buffer_s, config.buffer_capacity_s);
+    ASSERT_NEAR(r.rebuffer_s, stall, 1e-9) << "chunk " << r.index;
+    ASSERT_NEAR(r.buffer_after_s, buffer_s, 1e-9) << "chunk " << r.index;
+  }
+}
 
 /// Scaling a trace up can only help a fixed plan: verifies the throughput
 /// monotonicity at whole-session granularity (the Theorem 1 backbone).

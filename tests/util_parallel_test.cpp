@@ -86,6 +86,51 @@ TEST(ParallelFor, ExceptionStopsSchedulingNewWork) {
   EXPECT_LT(visited.load(), 1 << 20);
 }
 
+TEST(ParallelFor, ConcurrentThrowsFromEveryWorkerSurfaceExactlyOne) {
+  // All workers throw near-simultaneously (a fault storm); the pool must
+  // surface exactly one exception per call, never terminate, and stay
+  // reusable afterwards. Repeat to give interleavings a chance to differ.
+  for (int round = 0; round < 25; ++round) {
+    int caught = 0;
+    try {
+      parallel_for(
+          64, [](std::size_t i) { throw std::runtime_error(
+                                      "worker " + std::to_string(i)); },
+          8);
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    EXPECT_EQ(caught, 1) << "round " << round;
+  }
+  // The pool machinery still works after repeated fault storms.
+  std::atomic<int> total{0};
+  parallel_for(100, [&](std::size_t) { ++total; }, 8);
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ParallelFor, MixedSuccessAndConcurrentFailuresKeepCompletedWork) {
+  // Odd indices fail, even indices record their work; whatever completed
+  // before the stop must remain visible and uncorrupted.
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::atomic<int>> done(512);
+    EXPECT_THROW(parallel_for(
+                     done.size(),
+                     [&](std::size_t i) {
+                       if (i % 2 == 1) throw std::invalid_argument("odd");
+                       ++done[i];
+                     },
+                     8),
+                 std::invalid_argument);
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (i % 2 == 1) {
+        EXPECT_EQ(done[i].load(), 0) << "odd index " << i << " ran work";
+      } else {
+        EXPECT_LE(done[i].load(), 1) << "even index " << i << " ran twice";
+      }
+    }
+  }
+}
+
 TEST(ParallelFor, SingleThreadExceptionPropagatesDirectly) {
   std::atomic<int> visited{0};
   EXPECT_THROW(parallel_for(

@@ -9,6 +9,7 @@
 //   abrsim --algorithm bb --trace mytrace.csv --manifest video.mpd
 //   abrsim --algorithm fastmpc --dataset fcc --chunk-log
 //   abrsim --algorithm robustmpc --dataset fcc --metrics --trace-out t.json
+//   abrsim --algorithm robustmpc --dataset hsdpa --faults plan.json
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,7 +24,10 @@
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace_event.hpp"
+#include "sim/chunk_source.hpp"
 #include "sim/player.hpp"
+#include "testing/fault_plan.hpp"
+#include "testing/faulty_source.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
 #include "util/csv.hpp"
@@ -48,6 +52,7 @@ struct Options {
   bool skip_optimal = false;
   bool metrics = false;
   std::string trace_out;
+  std::string faults_path;
 };
 
 void usage() {
@@ -67,7 +72,10 @@ void usage() {
       "  --metrics                 enable instrumentation and print a\n"
       "                            Prometheus-format metrics dump at exit\n"
       "  --trace-out FILE.json     write the session timeline as Chrome\n"
-      "                            trace-event JSON (chrome://tracing)");
+      "                            trace-event JSON (chrome://tracing)\n"
+      "  --faults PLAN.json        inject transport faults per a seeded\n"
+      "                            FaultPlan (deterministic: same plan =>\n"
+      "                            bit-identical session)");
 }
 
 std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
@@ -116,6 +124,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--no-optimal") options.skip_optimal = true;
     else if (arg == "--metrics") options.metrics = true;
     else if (arg == "--trace-out") options.trace_out = value();
+    else if (arg == "--faults") options.faults_path = value();
     else if (arg == "--help") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -200,9 +209,25 @@ int main(int argc, char** argv) {
   algo_options.mpc_horizon = options.horizon;
   auto instance = core::make_algorithm(*algorithm, manifest, model, algo_options);
 
+  // With --faults, wrap the virtual-time source in the seeded fault
+  // injector; everything stays deterministic, so the chunk log is
+  // bit-identical across runs of the same plan.
+  sim::TraceChunkSource base_source(session_trace, manifest);
+  std::optional<abr::testing::FaultySource> faulty_source;
+  sim::ChunkSource* source = &base_source;
+  if (!options.faults_path.empty()) {
+    try {
+      faulty_source.emplace(base_source,
+                            abr::testing::FaultPlan::load(options.faults_path));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    source = &*faulty_source;
+  }
+  sim::PlayerSession player(manifest, model, session);
   const sim::SessionResult result =
-      sim::simulate(session_trace, manifest, model, session,
-                    *instance.controller, *instance.predictor);
+      player.run(*source, *instance.controller, *instance.predictor);
 
   std::printf("trace:     %s (mean %.0f kbps, stddev %.0f kbps)\n",
               session_trace.name().empty() ? "(unnamed)"
@@ -221,6 +246,14 @@ int main(int argc, char** argv) {
   std::printf("switches:         %zu\n", result.switch_count);
   std::printf("rebuffering:      %.2f s\n", result.total_rebuffer_s);
   std::printf("startup delay:    %.2f s\n", result.startup_delay_s);
+  if (faulty_source.has_value()) {
+    std::printf("\nfault injection:  %zu faults, %zu retries\n",
+                faulty_source->faults_injected(), faulty_source->retries());
+    std::printf("transfer attempts:%zu (%zu chunks)\n", result.total_attempts,
+                result.chunks.size());
+    std::printf("degraded chunks:  %zu\n", result.degraded_chunks);
+    std::printf("skipped chunks:   %zu\n", result.skipped_chunks);
+  }
 
   if (!options.skip_optimal) {
     const core::OfflineOptimalPlanner planner(manifest, model, session);
@@ -231,11 +264,12 @@ int main(int argc, char** argv) {
 
   if (options.chunk_log) {
     std::printf("\nchunk,level,bitrate_kbps,start_s,download_s,throughput_kbps,"
-                "buffer_after_s,rebuffer_s,wait_s\n");
+                "buffer_after_s,rebuffer_s,wait_s,attempts,degraded,skipped\n");
     for (const sim::ChunkRecord& r : result.chunks) {
-      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f\n", r.index,
-                  r.level, r.bitrate_kbps, r.start_s, r.download_s,
-                  r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s);
+      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f,%zu,%d,%d\n",
+                  r.index, r.level, r.bitrate_kbps, r.start_s, r.download_s,
+                  r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s,
+                  r.attempts, r.degraded ? 1 : 0, r.skipped ? 1 : 0);
     }
   }
 
