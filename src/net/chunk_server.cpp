@@ -19,12 +19,33 @@ TcpServer::TcpServer(SessionHandler session) : session_(std::move(session)) {
 
 TcpServer::~TcpServer() { stop(); }
 
-void TcpServer::start() {
+void TcpServer::start(std::uint16_t port) {
   assert(!running_.load());
-  listener_ = TcpListener::bind_loopback();
+  listener_ = TcpListener::bind_loopback(port);
   port_ = listener_.port();
+  draining_.store(false);
   running_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TcpServer::spawn_locked(TcpStream stream,
+                             const std::function<void(TcpStream&)>& run) {
+  auto connection = std::make_unique<Connection>();
+  connection->stream = std::move(stream);
+  Connection* raw = connection.get();
+  connection->thread = std::thread([raw, run] {
+    try {
+      run(raw->stream);
+    } catch (const std::exception&) {
+      // A handler that leaks an exception must not take the server down.
+    }
+    // Tell the peer we are done *now*: the fd itself is reclaimed lazily
+    // (on the next accept's prune), but without the shutdown a peer
+    // waiting on the socket would hang until then instead of seeing EOF.
+    raw->stream.shutdown_both();
+    raw->done.store(true);
+  });
+  connections_.push_back(std::move(connection));
 }
 
 void TcpServer::accept_loop() {
@@ -33,16 +54,64 @@ void TcpServer::accept_loop() {
     try {
       stream = listener_.accept();
     } catch (const std::system_error&) {
-      break;  // listener closed: orderly shutdown
+      if (!running_.load()) break;  // listener closed: orderly shutdown
+      // Transient accept failure — EMFILE/ENFILE under descriptor
+      // exhaustion, ECONNABORTED on a connection that died in the backlog.
+      // Back off briefly (pruning below also releases descriptors of
+      // finished sessions) and keep accepting rather than killing the loop.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        prune_finished_locked();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
     }
-    auto connection = std::make_unique<Connection>();
-    connection->stream = std::move(stream);
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_.load()) break;  // stop() raced us; drop the connection
-    Connection* raw = connection.get();
-    connection->thread = std::thread([this, raw] { session_(raw->stream); });
-    connections_.push_back(std::move(connection));
+    prune_finished_locked();
+    if (max_connections_ != 0 && active_locked() >= max_connections_) {
+      rejected_.fetch_add(1);
+      if (reject_) {
+        // Shed on a short-lived thread of its own so a slow (or hostile)
+        // rejected peer cannot stall the accept loop.
+        spawn_locked(std::move(stream), reject_);
+      }
+      continue;  // without a reject handler the stream just closes here
+    }
+    spawn_locked(std::move(stream), session_);
+    const std::size_t active = active_locked();
+    if (active > peak_.load()) peak_.store(active);
   }
+}
+
+void TcpServer::prune_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t TcpServer::active_locked() const {
+  std::size_t active = 0;
+  for (const auto& connection : connections_) {
+    if (!connection->done.load()) ++active;
+  }
+  return active;
+}
+
+std::size_t TcpServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_locked();
+}
+
+std::size_t TcpServer::tracked_connections() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return connections_.size();
 }
 
 void TcpServer::stop() {
@@ -67,6 +136,49 @@ void TcpServer::stop() {
   }
 }
 
+std::size_t TcpServer::drain(double deadline_s) {
+  if (!running_.exchange(false)) return 0;
+  draining_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Let in-flight sessions finish on their own. Keep-alive handlers poll
+  // draining() and close at the next request boundary.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      prune_finished_locked();
+      idle = connections_.empty();
+    }
+    if (idle) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Deadline passed (or everyone finished): force-close the stragglers.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    prune_finished_locked();
+    connections.swap(connections_);
+  }
+  std::size_t forced = 0;
+  for (const auto& connection : connections) {
+    if (!connection->done.load()) {
+      ++forced;
+      connection->stream.shutdown_both();
+    }
+  }
+  for (const auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  return forced;
+}
+
 bool parse_segment_path(std::string_view target, std::size_t& level,
                         std::size_t& number) {
   constexpr std::string_view kPrefix = "/video/";
@@ -89,26 +201,52 @@ bool parse_segment_path(std::string_view target, std::size_t& level,
 }
 
 ChunkServer::ChunkServer(const media::VideoManifest& manifest,
-                         const trace::ThroughputTrace& trace, double speedup)
+                         const trace::ThroughputTrace& trace, double speedup,
+                         ChunkServerOptions options)
     : manifest_(&manifest),
       mpd_(media::to_mpd(manifest)),
       shaper_(trace, speedup),
       speedup_(speedup),
-      requests_counter_(
-          &obs::MetricsRegistry::global().counter(obs::kHttpRequestsTotal)),
-      bytes_counter_(
-          &obs::MetricsRegistry::global().counter(obs::kHttpBytesServedTotal)),
-      connections_gauge_(
-          &obs::MetricsRegistry::global().gauge(obs::kHttpActiveConnections)),
+      options_(std::move(options)),
+      requests_counter_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpRequestsTotal, options_.metric_label)),
+      bytes_counter_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpBytesServedTotal, options_.metric_label)),
+      connections_gauge_(&obs::MetricsRegistry::global().gauge(
+          obs::kHttpActiveConnections, options_.metric_label)),
+      peak_connections_gauge_(&obs::MetricsRegistry::global().gauge(
+          obs::kHttpPeakConnections, options_.metric_label)),
+      shed_counter_(&obs::MetricsRegistry::global().counter(
+          obs::kOriginShedTotal, options_.metric_label)),
+      drain_forced_counter_(&obs::MetricsRegistry::global().counter(
+          obs::kDrainForcedClosesTotal, options_.metric_label)),
+      bad_request_malformed_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpBadRequestsTotal, obs::bad_request_label("malformed"))),
+      bad_request_method_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpBadRequestsTotal, obs::bad_request_label("method"))),
+      bad_request_not_found_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpBadRequestsTotal, obs::bad_request_label("not_found"))),
       request_latency_(&obs::MetricsRegistry::global().histogram(
-          obs::kHttpRequestLatencyUs)),
-      server_([this](TcpStream& stream) { handle_connection(stream); }) {}
+          obs::kHttpRequestLatencyUs, options_.metric_label)),
+      server_([this](TcpStream& stream) { handle_connection(stream); }) {
+  server_.set_max_connections(options_.max_connections);
+  server_.set_reject_handler(
+      [this](TcpStream& stream) { reject_connection(stream); });
+}
 
 ChunkServer::~ChunkServer() { stop(); }
 
-void ChunkServer::start() { server_.start(); }
+void ChunkServer::start(std::uint16_t port) { server_.start(port); }
 
 void ChunkServer::stop() { server_.stop(); }
+
+std::size_t ChunkServer::drain(double deadline_s) {
+  const std::size_t forced = server_.drain(deadline_s);
+  if (forced > 0) {
+    drain_forced_counter_->increment(static_cast<double>(forced));
+  }
+  return forced;
+}
 
 void ChunkServer::reset_trace_clock() {
   std::lock_guard<std::mutex> lock(shaper_mutex_);
@@ -118,8 +256,21 @@ void ChunkServer::reset_trace_clock() {
 HttpResponse ChunkServer::route(const HttpRequest& request) const {
   HttpResponse response;
   if (request.method != "GET") {
+    bad_request_method_->increment();
     response.status = 405;
     response.reason = "Method Not Allowed";
+    response.headers.set("Allow", "GET");
+    return response;
+  }
+  if (request.target == "/healthz") {
+    response.headers.set("Content-Type", "text/plain");
+    if (server_.draining()) {
+      response.status = 503;
+      response.reason = "Service Unavailable";
+      response.body = "draining\n";
+    } else {
+      response.body = "ok\n";
+    }
     return response;
   }
   if (request.target == "/manifest.mpd") {
@@ -138,19 +289,69 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
     response.body.assign(bytes, static_cast<char>('A' + (number + level) % 26));
     return response;
   }
+  bad_request_not_found_->increment();
   response.status = 404;
   response.reason = "Not Found";
   return response;
 }
 
-void ChunkServer::handle_connection(TcpStream& stream) {
-  connections_gauge_->add(1.0);
+void ChunkServer::reject_connection(TcpStream& stream) {
+  shed_counter_->increment();
   try {
     stream.set_no_delay(true);
-    stream.set_timeout_ms(120000);
+    stream.set_timeout_ms(2000);
+    HttpConnection connection(&stream);
+    // Consume the request first so closing after the 503 cannot RST it away
+    // before the client reads the response.
+    try {
+      (void)connection.read_request();
+    } catch (const std::exception&) {
+      // Even an unparsable request gets the 503; it is closing either way.
+    }
+    HttpResponse response;
+    response.status = 503;
+    response.reason = "Service Unavailable";
+    response.headers.set("Retry-After", std::to_string(options_.retry_after_s));
+    response.headers.set("Connection", "close");
+    response.body = "overloaded\n";
+    connection.write_response(response);
+    stream.shutdown_write();
+  } catch (const std::exception&) {
+    // Peer gone mid-shed: nothing to tell it.
+  }
+}
+
+void ChunkServer::handle_connection(TcpStream& stream) {
+  connections_gauge_->add(1.0);
+  const std::size_t live = live_connections_.fetch_add(1) + 1;
+  if (static_cast<double>(live) > peak_connections_gauge_->value()) {
+    peak_connections_gauge_->set(static_cast<double>(live));
+  }
+  try {
+    stream.set_no_delay(true);
+    stream.set_timeout_ms(options_.idle_timeout_ms);
     HttpConnection connection(&stream);
     while (true) {
-      const auto request = connection.read_request();
+      std::optional<HttpRequest> request;
+      try {
+        request = connection.read_request();
+      } catch (const std::invalid_argument&) {
+        // Malformed request line, oversized headers, bad framing: answer
+        // with a clean 400 (best effort — the peer may already be gone)
+        // and drop the connection instead of letting the exception tear it
+        // down silently.
+        bad_request_malformed_->increment();
+        HttpResponse bad;
+        bad.status = 400;
+        bad.reason = "Bad Request";
+        bad.headers.set("Connection", "close");
+        bad.body = "bad request\n";
+        try {
+          connection.write_response(bad);
+        } catch (const std::exception&) {
+        }
+        break;
+      }
       if (!request.has_value()) break;  // client closed keep-alive
       // Request latency covers routing plus the shaped body send — the time
       // the client actually waits, i.e. the emulated link is part of it.
@@ -158,6 +359,9 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       HttpResponse response = route(*request);
       ++requests_served_;
       requests_counter_->increment();
+
+      const bool draining = server_.draining();
+      if (draining) response.headers.set("Connection", "close");
 
       // Fault injection applies to segment requests only (the MPD and
       // error responses go out faithfully).
@@ -226,10 +430,13 @@ void ChunkServer::handle_connection(TcpStream& stream) {
         std::lock_guard<std::mutex> lock(shaper_mutex_);
         shaper_.send(connection.stream(), body);
       }
+
+      if (draining) break;  // honoured Connection: close; drain proceeds
     }
   } catch (const std::exception&) {
     // Connection torn down (client abort / shutdown): drop it.
   }
+  live_connections_.fetch_sub(1);
   connections_gauge_->add(-1.0);
 }
 

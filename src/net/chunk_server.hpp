@@ -4,6 +4,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -23,11 +24,28 @@ namespace abr::net {
 /// can interrupt handlers blocked on a live peer: it shuts down each stream
 /// (waking any blocked read), then joins every thread. Without this, a
 /// keep-alive client that never closes would deadlock shutdown.
+///
+/// Overload hardening:
+///  - set_max_connections() caps concurrently live sessions; connections
+///    past the cap run the reject handler (a terse 503, typically) instead
+///    of the session handler, so the thread count stays bounded.
+///  - Finished connection slots are pruned (thread joined, fd closed) on
+///    every accept, so a long-lived server does not accumulate dead entries.
+///  - A transient accept() failure (EMFILE under fd exhaustion,
+///    ECONNABORTED) backs off briefly and keeps serving instead of killing
+///    the accept loop.
+///  - drain() replaces the hard stop() for graceful shutdown: stop
+///    accepting, let in-flight sessions finish up to a deadline, then
+///    force-close stragglers.
 class TcpServer {
  public:
   /// Runs one connection; returns when done. The stream reference stays
   /// valid for the duration of the call.
   using SessionHandler = std::function<void(TcpStream&)>;
+
+  /// Runs a connection rejected by the admission cap (on its own thread,
+  /// like a session). Should write a terse response and return promptly.
+  using RejectHandler = std::function<void(TcpStream&)>;
 
   explicit TcpServer(SessionHandler session);
   ~TcpServer();
@@ -35,30 +53,85 @@ class TcpServer {
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds 127.0.0.1 on an ephemeral port and starts accepting.
-  void start();
+  /// Binds 127.0.0.1 and starts accepting; port 0 picks an ephemeral port.
+  /// A stopped (or drained) server may be started again — passing the old
+  /// port() restarts the origin on the same address, which is how the chaos
+  /// harness brings a killed origin back.
+  void start(std::uint16_t port = 0);
   void stop();
 
+  /// Graceful shutdown: closes the listener, waits up to `deadline_s` for
+  /// in-flight sessions to finish on their own, then force-closes the
+  /// stragglers and joins everything. Returns the number of connections
+  /// that had to be force-closed. Idempotent with stop() in either order.
+  std::size_t drain(double deadline_s);
+
+  /// True from the moment drain() begins until the next start(). Session
+  /// handlers poll this to stop keep-alive loops at the next boundary.
+  bool draining() const { return draining_.load(); }
+
+  /// Admission cap; 0 (default) means unlimited. Set before start().
+  void set_max_connections(std::size_t cap) { max_connections_ = cap; }
+  void set_reject_handler(RejectHandler reject) { reject_ = std::move(reject); }
+
   std::uint16_t port() const { return port_; }
+
+  std::size_t active_connections() const;
+  std::size_t peak_connections() const { return peak_.load(); }
+  std::size_t rejected_connections() const { return rejected_.load(); }
+  /// Tracked entries including finished-but-unpruned ones (tests use this to
+  /// show pruning keeps the vector bounded).
+  std::size_t tracked_connections() const;
 
  private:
   struct Connection {
     TcpStream stream;
     std::thread thread;
+    std::atomic<bool> done{false};
   };
 
   void accept_loop();
+  void spawn_locked(TcpStream stream, const std::function<void(TcpStream&)>& run);
+  void prune_finished_locked();
+  std::size_t active_locked() const;
 
   SessionHandler session_;
+  RejectHandler reject_;
   TcpListener listener_;
   std::uint16_t port_ = 0;
+  std::size_t max_connections_ = 0;
   std::thread accept_thread_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> rejected_{0};
 };
 
 class FaultInjector;
+
+/// Serving-path knobs for ChunkServer (all optional; the defaults preserve
+/// the pre-hardening behaviour).
+struct ChunkServerOptions {
+  /// Admission cap on concurrent connections; 0 = unlimited. Connections
+  /// past the cap get "503 Service Unavailable" with a Retry-After header
+  /// instead of a session thread.
+  std::size_t max_connections = 0;
+
+  /// Socket read/write deadline per connection (slowloris guard): a peer
+  /// that dribbles or stalls for longer than this gets disconnected.
+  int idle_timeout_ms = 120000;
+
+  /// Value of the Retry-After header on shed connections, seconds.
+  int retry_after_s = 1;
+
+  /// When non-empty, every metric this origin emits carries the label body
+  /// origin_label(n) (e.g. `origin="1"`), so multi-origin harnesses can
+  /// tell the origins apart. Empty (default) keeps the unlabeled families
+  /// the single-origin tests expect.
+  std::string metric_label;
+};
 
 /// A synthetic DASH origin: serves the MPD and fixed-size segment payloads
 /// for a manifest, with every response body paced by a trace-driven shaper.
@@ -68,15 +141,24 @@ class FaultInjector;
 /// URL layout (matches the MPD's SegmentTemplate):
 ///   GET /manifest.mpd
 ///   GET /video/<representation-id>/seg-<number>.m4s
+///   GET /healthz            -> 200 "ok" (503 "draining" during drain)
 class ChunkServer {
  public:
   /// The manifest and trace must outlive the server.
   ChunkServer(const media::VideoManifest& manifest,
-              const trace::ThroughputTrace& trace, double speedup = 1.0);
+              const trace::ThroughputTrace& trace, double speedup = 1.0,
+              ChunkServerOptions options = {});
   ~ChunkServer();
 
-  void start();
+  /// Port 0 picks an ephemeral port; a stopped server can be restarted on
+  /// its previous port() (the chaos harness's kill/restart path).
+  void start(std::uint16_t port = 0);
   void stop();
+
+  /// Graceful shutdown; see TcpServer::drain. Returns forced-close count.
+  std::size_t drain(double deadline_s);
+  bool draining() const { return server_.draining(); }
+
   std::uint16_t port() const { return server_.port(); }
 
   /// Attaches a fault injector that decides the fate of each segment
@@ -92,8 +174,14 @@ class ChunkServer {
   /// Total requests served (observability for tests).
   std::size_t requests_served() const { return requests_served_.load(); }
 
+  /// Connections shed by admission control.
+  std::size_t shed_connections() const { return server_.rejected_connections(); }
+
+  const TcpServer& transport() const { return server_; }
+
  private:
   void handle_connection(TcpStream& stream);
+  void reject_connection(TcpStream& stream);
   HttpResponse route(const HttpRequest& request) const;
 
   const media::VideoManifest* manifest_;
@@ -101,13 +189,21 @@ class ChunkServer {
   TraceShaper shaper_;
   std::mutex shaper_mutex_;
   double speedup_;
+  ChunkServerOptions options_;
   FaultInjector* injector_ = nullptr;
   std::atomic<std::size_t> requests_served_{0};
+  std::atomic<std::size_t> live_connections_{0};
 
   // Origin-side metrics (global registry; no-ops unless it is enabled).
   obs::Counter* requests_counter_;
   obs::Counter* bytes_counter_;
   obs::Gauge* connections_gauge_;
+  obs::Gauge* peak_connections_gauge_;
+  obs::Counter* shed_counter_;
+  obs::Counter* drain_forced_counter_;
+  obs::Counter* bad_request_malformed_;
+  obs::Counter* bad_request_method_;
+  obs::Counter* bad_request_not_found_;
   obs::Histogram* request_latency_;  ///< includes the shaped body send
 
   TcpServer server_;

@@ -110,6 +110,12 @@ std::optional<std::string> HttpConnection::read_header_block() {
   while (true) {
     const std::size_t boundary = buffer_.find("\r\n\r\n");
     if (boundary != std::string::npos) {
+      // Enforce the cap on the extracted block, not just the pending
+      // buffer: a terminator arriving within one read chunk past the cap
+      // must not smuggle an oversized block through.
+      if (boundary > kMaxHeaderBytes) {
+        throw std::invalid_argument("HTTP: header block too large");
+      }
       std::string block = buffer_.substr(0, boundary);
       buffer_.erase(0, boundary + 4);
       return block;
@@ -150,8 +156,12 @@ std::optional<HttpRequest> HttpConnection::read_request() {
   const auto block = read_header_block();
   if (!block.has_value()) return std::nullopt;
 
+  const std::string_view line = first_line(*block);
+  if (line.size() > kMaxRequestLineBytes) {
+    throw std::invalid_argument("HTTP: request line too long");
+  }
   HttpRequest request;
-  if (!parse_request_line(first_line(*block), request)) {
+  if (!parse_request_line(line, request)) {
     throw std::invalid_argument("HTTP: malformed request line");
   }
   request.headers = parse_header_lines(*block, /*skip_lines=*/1);
@@ -208,16 +218,22 @@ HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
     : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
 
 void HttpClient::set_timeout_ms(int timeout_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
   timeout_ms_ = timeout_ms;
   connection_.reset();
 }
 
-void HttpClient::ensure_connected() {
+void HttpClient::ensure_connected_locked() {
   if (connection_.has_value()) return;
   TcpStream stream = TcpStream::connect(host_, port_);
   stream.set_no_delay(true);
   stream.set_timeout_ms(timeout_ms_);
   connection_.emplace(std::move(stream));
+}
+
+void HttpClient::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (connection_.has_value()) connection_->stream().shutdown_both();
 }
 
 HttpResponse HttpClient::request(const std::string& target,
@@ -226,17 +242,28 @@ HttpResponse HttpClient::request(const std::string& target,
   http_request.method = "GET";
   http_request.target = target;
 
-  ensure_connected();
+  // The connection object is created/destroyed under the mutex but the I/O
+  // itself runs unlocked, so abort() can shut the socket down (failing the
+  // blocked read) without deadlocking on this request. Only the catch block
+  // below destroys the object, so the pointer stays valid throughout.
+  HttpConnection* connection = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure_connected_locked();
+    connection = &*connection_;
+  }
   try {
-    connection_->write_request(http_request, host_);
-    HttpResponse response = connection_->read_response(progress);
+    connection->write_request(http_request, host_);
+    HttpResponse response = connection->read_response(progress);
     const std::string* connection_header = response.headers.find("Connection");
     if (connection_header != nullptr &&
         util::iequals(*connection_header, "close")) {
+      std::lock_guard<std::mutex> lock(mutex_);
       connection_.reset();
     }
     return response;
   } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
     connection_.reset();
     throw;
   }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -68,7 +69,10 @@ class HttpConnection {
 
   TcpStream& stream() { return borrowed_ != nullptr ? *borrowed_ : owned_; }
 
-  /// Limits (guard against hostile peers).
+  /// Limits (guard against hostile peers). A request line longer than
+  /// kMaxRequestLineBytes is rejected even when the whole header block fits
+  /// under kMaxHeaderBytes.
+  static constexpr std::size_t kMaxRequestLineBytes = 8 * 1024;
   static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
   static constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
 
@@ -85,6 +89,10 @@ class HttpConnection {
 
 /// Minimal HTTP GET client with a persistent connection; reconnects
 /// transparently after a server-side close.
+///
+/// One thread issues requests at a time; abort() is the only member safe to
+/// call concurrently with an in-flight request (hedged fetches use it to
+/// cancel the losing leg).
 class HttpClient {
  public:
   /// `timeout_ms` is the socket-level deadline (SO_RCVTIMEO/SO_SNDTIMEO)
@@ -109,12 +117,19 @@ class HttpClient {
   HttpResponse request(const std::string& target,
                        const ProgressCallback& progress = nullptr);
 
+  /// Interrupts an in-flight request from another thread: shuts down the
+  /// current connection, so the blocked read/write fails with an error the
+  /// requesting thread surfaces as a transport failure. Safe to call at any
+  /// time; a no-op when idle.
+  void abort();
+
  private:
-  void ensure_connected();
+  void ensure_connected_locked();
 
   std::string host_;
   std::uint16_t port_;
   int timeout_ms_;
+  std::mutex mutex_;  ///< guards connection_ creation/teardown (not I/O)
   std::optional<HttpConnection> connection_;
 };
 

@@ -1,0 +1,223 @@
+#include "net/origin_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace abr::net {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+void BreakerConfig::validate() const {
+  if (failure_threshold == 0) {
+    throw std::invalid_argument("BreakerConfig: failure_threshold must be >= 1");
+  }
+  if (probe_interval == 0) {
+    throw std::invalid_argument("BreakerConfig: probe_interval must be >= 1");
+  }
+  if (probe_jitter < 0.0 || probe_jitter >= 1.0) {
+    throw std::invalid_argument("BreakerConfig: probe_jitter must be in [0, 1)");
+  }
+  if (close_threshold == 0) {
+    throw std::invalid_argument("BreakerConfig: close_threshold must be >= 1");
+  }
+}
+
+CircuitBreaker::CircuitBreaker(BreakerConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  config_.validate();
+}
+
+void CircuitBreaker::open() {
+  state_ = BreakerState::kOpen;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  denied_since_open_ = 0;
+  probe_in_flight_ = false;
+  const double jittered = static_cast<double>(config_.probe_interval) *
+                          (1.0 + config_.probe_jitter * rng_.uniform(-1.0, 1.0));
+  probe_due_after_ =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::lround(jittered)));
+}
+
+bool CircuitBreaker::tick() {
+  if (state_ != BreakerState::kOpen) return false;
+  ++denied_since_open_;
+  if (denied_since_open_ >= probe_due_after_) {
+    state_ = BreakerState::kHalfOpen;
+    probe_in_flight_ = false;
+    return true;
+  }
+  return false;
+}
+
+bool CircuitBreaker::try_claim() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+    case BreakerState::kOpen:
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= config_.close_threshold) {
+        state_ = BreakerState::kClosed;
+        consecutive_failures_ = 0;
+        half_open_successes_ = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A late success (e.g. a hedged loser that was given up on but whose
+      // response arrived anyway): the origin evidently works, close.
+      state_ = BreakerState::kClosed;
+      consecutive_failures_ = 0;
+      half_open_successes_ = 0;
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) open();
+      break;
+    case BreakerState::kHalfOpen:
+      // The probe failed: reopen with a freshly jittered probe schedule.
+      open();
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+OriginPool::OriginPool(std::size_t count, BreakerConfig config,
+                       std::uint64_t seed) {
+  if (count == 0) {
+    throw std::invalid_argument("OriginPool: need at least one origin");
+  }
+  config.validate();
+  breakers_.reserve(count);
+  fast_fails_.assign(count, 0);
+  fast_fail_counters_.reserve(count);
+  util::Rng seeder(seed);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  for (std::size_t i = 0; i < count; ++i) {
+    breakers_.emplace_back(config, seeder());
+    fast_fail_counters_.push_back(&registry.counter(
+        obs::kBreakerFastFailTotal, obs::origin_label(i)));
+  }
+}
+
+void OriginPool::note_transition(std::size_t origin, BreakerState before) {
+  const BreakerState now = breakers_[origin].state();
+  if (now == before) return;
+  transitions_.push_back({origin, now});
+  obs::MetricsRegistry::global()
+      .counter(obs::kBreakerTransitionsTotal,
+               obs::breaker_transition_label(origin, breaker_state_name(now)))
+      .increment();
+}
+
+std::optional<std::size_t> OriginPool::acquire(std::size_t preferred) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = breakers_.size();
+  if (n == 1) return 0;  // single origin: breaker bypass (see class comment)
+
+  // Pass 1: tick every open breaker (counts a fast-fail, advances the probe
+  // schedule). The lowest-indexed origin whose probe came due wins priority.
+  std::optional<std::size_t> probe;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (breakers_[i].state() != BreakerState::kOpen) continue;
+    ++fast_fails_[i];
+    fast_fail_counters_[i]->increment();
+    const BreakerState before = breakers_[i].state();
+    if (breakers_[i].tick() && !probe.has_value()) probe = i;
+    note_transition(i, before);
+  }
+  if (probe.has_value() && breakers_[*probe].try_claim()) return probe;
+
+  // Pass 2: first claimable origin, scanning cyclically from `preferred`.
+  for (std::size_t offset = 0; offset < n; ++offset) {
+    const std::size_t i = (preferred + offset) % n;
+    if (breakers_[i].try_claim()) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> OriginPool::hedge_target(std::size_t exclude) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    if (i == exclude) continue;
+    if (breakers_[i].state() == BreakerState::kClosed) return i;
+  }
+  return std::nullopt;
+}
+
+void OriginPool::report_success(std::size_t origin) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (breakers_.size() == 1) return;
+  const BreakerState before = breakers_.at(origin).state();
+  breakers_[origin].record_success();
+  note_transition(origin, before);
+}
+
+void OriginPool::report_failure(std::size_t origin) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (breakers_.size() == 1) return;
+  const BreakerState before = breakers_.at(origin).state();
+  breakers_[origin].record_failure();
+  note_transition(origin, before);
+}
+
+BreakerState OriginPool::state(std::size_t origin) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return breakers_.at(origin).state();
+}
+
+std::size_t OriginPool::fast_fails(std::size_t origin) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fast_fails_.at(origin);
+}
+
+std::vector<BreakerTransition> OriginPool::transitions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return transitions_;
+}
+
+std::string OriginPool::transition_string(std::size_t origin) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = breaker_state_name(BreakerState::kClosed);
+  for (const BreakerTransition& transition : transitions_) {
+    if (transition.origin != origin) continue;
+    out += "->";
+    out += breaker_state_name(transition.to);
+  }
+  return out;
+}
+
+}  // namespace abr::net

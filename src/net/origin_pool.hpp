@@ -1,0 +1,161 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace abr::obs {
+class Counter;
+}
+
+namespace abr::net {
+
+/// Circuit-breaker states, in the classic closed/open/half-open scheme:
+/// closed passes traffic, open refuses it, half-open lets exactly one probe
+/// through to test whether the origin has recovered.
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+/// Tuning for one origin's circuit breaker. All scheduling is counted in
+/// *events* (failures, denied consults), never in wall-clock time: a seeded
+/// run issues the same request sequence, so the breaker walks the same state
+/// sequence — which is what keeps `abrsim --origins --kill-origin` runs
+/// bit-identical.
+struct BreakerConfig {
+  /// Consecutive failures that trip the breaker closed -> open.
+  std::size_t failure_threshold = 3;
+
+  /// Mean number of denied consults while open before a half-open probe is
+  /// allowed. The actual interval is jittered per opening (see probe_jitter)
+  /// from the breaker's seeded RNG, so colocated breakers do not probe in
+  /// lockstep yet every run draws the same schedule.
+  std::size_t probe_interval = 4;
+
+  /// Probe interval is scaled by (1 + probe_jitter * u), u uniform in
+  /// [-1, 1), then clamped to >= 1.
+  double probe_jitter = 0.5;
+
+  /// Consecutive half-open successes needed to close.
+  std::size_t close_threshold = 1;
+
+  /// Throws std::invalid_argument on nonsensical values.
+  void validate() const;
+};
+
+/// Per-origin failure tracker. Not thread-safe by itself; OriginPool
+/// serializes access. Exposed for unit tests.
+class CircuitBreaker {
+ public:
+  CircuitBreaker(BreakerConfig config, std::uint64_t seed);
+
+  BreakerState state() const { return state_; }
+
+  /// One denied consult while open. Returns true when this consult made the
+  /// probe come due (the breaker is now half-open and try_claim() will hand
+  /// out the probe slot). Only meaningful in the open state.
+  bool tick();
+
+  /// Attempts to claim the right to send one request. Closed: always
+  /// granted. Half-open: granted once until the probe reports back. Open:
+  /// refused (call tick() to advance the probe schedule).
+  bool try_claim();
+
+  void record_success();
+  void record_failure();
+
+ private:
+  void open();
+
+  BreakerConfig config_;
+  util::Rng rng_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t consecutive_failures_ = 0;
+  std::size_t half_open_successes_ = 0;
+  std::size_t denied_since_open_ = 0;
+  std::size_t probe_due_after_ = 0;
+  bool probe_in_flight_ = false;
+};
+
+/// One breaker state change, in occurrence order.
+struct BreakerTransition {
+  std::size_t origin = 0;
+  BreakerState to = BreakerState::kClosed;
+};
+
+/// Health tracking and failover routing for a set of interchangeable
+/// origins. The pool does no I/O: callers acquire() an origin index, perform
+/// the transfer themselves, and report the outcome back. Both the real-HTTP
+/// client (HttpChunkSource) and the virtual-time chaos source
+/// (SimulatedOriginSource) route through the same pool, so breaker behaviour
+/// is identical on both paths.
+///
+/// acquire() semantics:
+///  1. Every open breaker is consulted ("ticked") once — the denied consult
+///    is counted as a fast-fail and advances that origin's deterministic
+///    probe schedule. If a probe comes due, the probe takes priority: the
+///    recovering origin gets the request even though healthy peers exist
+///    (otherwise a pool that failed over would never revisit a restarted
+///    origin).
+///  2. Otherwise the first origin from `preferred` (cyclically) whose
+///    breaker grants a claim is returned, so a healthy current origin keeps
+///    serving and failover is sticky.
+///  3. nullopt means every origin refused (all open, no probe due yet).
+///
+/// A pool of size 1 bypasses the breaker entirely: with nowhere to fail
+/// over to, fast-failing would only turn retryable errors into immediate
+/// failures, and the single-origin path must behave exactly as it did
+/// before the pool existed.
+///
+/// Thread-safe; transitions and fast-fails are also counted in the global
+/// metrics registry (no-ops unless it is enabled).
+class OriginPool {
+ public:
+  explicit OriginPool(std::size_t count, BreakerConfig config = {},
+                      std::uint64_t seed = 0x0717c3b5ULL);
+
+  std::size_t size() const { return breakers_.size(); }
+
+  std::optional<std::size_t> acquire(std::size_t preferred);
+
+  /// A side-effect-free pick for hedged requests: the first origin other
+  /// than `exclude` whose breaker is closed. No ticks, no claims — hedges
+  /// never disturb the probe schedule.
+  std::optional<std::size_t> hedge_target(std::size_t exclude) const;
+
+  void report_success(std::size_t origin);
+  void report_failure(std::size_t origin);
+
+  BreakerState state(std::size_t origin) const;
+
+  /// Denied consults of this origin's open breaker (the "breaker-opened
+  /// fast-fail" counter, also exported per-origin to the registry).
+  std::size_t fast_fails(std::size_t origin) const;
+
+  /// Every breaker state change so far, in order. Deterministic for a
+  /// deterministic request sequence.
+  std::vector<BreakerTransition> transitions() const;
+
+  /// transitions() restricted to one origin, rendered as
+  /// "closed->open->half_open->closed" (leading state included). Handy for
+  /// logs and golden assertions.
+  std::string transition_string(std::size_t origin) const;
+
+ private:
+  /// Appends a transition + metric if `breaker`'s state differs from
+  /// `before`. Callers hold mutex_.
+  void note_transition(std::size_t origin, BreakerState before);
+
+  mutable std::mutex mutex_;
+  std::vector<CircuitBreaker> breakers_;
+  std::vector<std::size_t> fast_fails_;
+  std::vector<BreakerTransition> transitions_;
+  std::vector<obs::Counter*> fast_fail_counters_;
+};
+
+}  // namespace abr::net

@@ -25,21 +25,22 @@ namespace {
 FileDescriptor::~FileDescriptor() { close(); }
 
 FileDescriptor::FileDescriptor(FileDescriptor&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(other.fd_.exchange(-1, std::memory_order_relaxed)) {}
 
 FileDescriptor& FileDescriptor::operator=(FileDescriptor&& other) noexcept {
   if (this != &other) {
     close();
-    fd_ = std::exchange(other.fd_, -1);
+    fd_.store(other.fd_.exchange(-1, std::memory_order_relaxed),
+              std::memory_order_relaxed);
   }
   return *this;
 }
 
 void FileDescriptor::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // exchange() so two threads racing to close (shutdown path vs. owner
+  // destructor) cannot double-close the same descriptor.
+  const int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
 }
 
 TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {

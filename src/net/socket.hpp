@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -7,7 +8,11 @@
 namespace abr::net {
 
 /// RAII owner of a POSIX file descriptor (Core Guidelines R.1): closes on
-/// destruction, move-only.
+/// destruction, move-only. The descriptor slot is atomic because the
+/// shutdown contract of TcpListener/TcpStream is cross-thread: one thread
+/// blocks in accept()/read() while another close()es or shutdown()s the
+/// same object to wake it. Moves are still single-threaded (ownership
+/// transfer is never concurrent); only get/valid/close race by design.
 class FileDescriptor {
  public:
   FileDescriptor() = default;
@@ -19,14 +24,14 @@ class FileDescriptor {
   FileDescriptor(FileDescriptor&& other) noexcept;
   FileDescriptor& operator=(FileDescriptor&& other) noexcept;
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_.load(std::memory_order_relaxed); }
+  bool valid() const { return get() >= 0; }
 
-  /// Closes now (idempotent).
+  /// Closes now (idempotent, safe against a concurrent close).
   void close();
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 /// A connected TCP byte stream. All operations throw std::system_error on

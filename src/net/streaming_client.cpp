@@ -2,6 +2,8 @@
 
 #include <cerrno>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
@@ -23,24 +25,48 @@ bool is_timeout(const std::system_error& error) {
          code == std::errc::timed_out;
 }
 
+std::string segment_target(std::size_t chunk, std::size_t level) {
+  return "/video/" + std::to_string(level) + "/seg-" + std::to_string(chunk) +
+         ".m4s";
+}
+
 }  // namespace
 
 HttpChunkSource::HttpChunkSource(std::string host, std::uint16_t port,
                                  const media::VideoManifest& manifest,
                                  double speedup, sim::RetryPolicy retry,
                                  std::uint64_t jitter_seed)
-    : client_(host, port, retry.request_timeout_ms),
-      host_(std::move(host)),
+    : HttpChunkSource(
+          std::vector<OriginEndpoint>{OriginEndpoint{std::move(host), port}},
+          manifest, speedup, retry, jitter_seed) {}
+
+HttpChunkSource::HttpChunkSource(std::vector<OriginEndpoint> origins,
+                                 const media::VideoManifest& manifest,
+                                 double speedup, sim::RetryPolicy retry,
+                                 std::uint64_t jitter_seed,
+                                 FailoverOptions failover)
+    : origins_(std::move(origins)),
       manifest_(&manifest),
       speedup_(speedup),
       retry_(retry),
+      failover_(failover),
+      pool_(origins_.empty() ? 1 : origins_.size(), failover.breaker,
+            failover.seed),
       jitter_rng_(jitter_seed),
       epoch_(std::chrono::steady_clock::now()) {
+  if (origins_.empty()) {
+    throw std::invalid_argument("HttpChunkSource: need at least one origin");
+  }
   if (speedup <= 0.0) {
     throw std::invalid_argument("HttpChunkSource: non-positive speedup");
   }
   if (retry_.max_attempts == 0) {
     throw std::invalid_argument("HttpChunkSource: max_attempts must be >= 1");
+  }
+  clients_.reserve(origins_.size());
+  for (const OriginEndpoint& origin : origins_) {
+    clients_.push_back(std::make_unique<HttpClient>(
+        origin.host, origin.port, retry_.request_timeout_ms));
   }
 }
 
@@ -49,55 +75,104 @@ double HttpChunkSource::now() const {
   return std::chrono::duration<double>(elapsed).count() * speedup_;
 }
 
+std::optional<double> HttpChunkSource::attempt(std::size_t origin,
+                                               const std::string& target) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
+  try {
+    const HttpResponse response = clients_[origin]->request(target);
+    if (response.status >= 200 && response.status < 300) {
+      return static_cast<double>(response.body.size()) * 8.0 / 1000.0;
+    }
+    if (response.status < 500) {
+      // 3xx/4xx means client and origin disagree about the video — a
+      // configuration bug, not a transient transport fault.
+      throw std::runtime_error("HTTP GET " + target + " -> " +
+                               std::to_string(response.status));
+    }
+    // 5xx: transient server failure; retryable.
+  } catch (const std::system_error& error) {
+    if (is_timeout(error)) {
+      registry.counter(obs::kFetchTimeoutsTotal).increment();
+    }
+  } catch (const std::invalid_argument&) {
+    // Truncated/reset/malformed response; the connection was dropped.
+  }
+  return std::nullopt;
+}
+
 sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk,
                                          std::size_t level) {
-  const std::string target = "/video/" + std::to_string(level) + "/seg-" +
-                             std::to_string(chunk) + ".m4s";
+  const std::string target = segment_target(chunk, level);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
-  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
-  obs::Counter& timeouts_total = registry.counter(obs::kFetchTimeoutsTotal);
-  obs::Counter& failures_total =
-      registry.counter(obs::kFetchAttemptFailuresTotal);
   obs::LatencyTimer latency(&registry.histogram(obs::kHttpFetchLatencyUs));
 
   const double start_session_s = now();
-  sim::FetchOutcome outcome;
-  outcome.attempts = 0;
-
-  for (std::size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
-    ++outcome.attempts;
-    registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
-    bool delivered = false;
-    try {
-      const HttpResponse response = client_.request(target);
-      if (response.status >= 200 && response.status < 300) {
-        outcome.kilobits =
-            static_cast<double>(response.body.size()) * 8.0 / 1000.0;
-        delivered = true;
-      } else if (response.status < 500) {
-        // 3xx/4xx means client and origin disagree about the video — a
-        // configuration bug, not a transient transport fault.
-        throw std::runtime_error("HTTP GET " + target + " -> " +
-                                 std::to_string(response.status));
-      }
-      // 5xx: transient server failure; fall through to retry.
-    } catch (const std::system_error& error) {
-      if (is_timeout(error)) {
-        timeouts_total.increment();
-      }
-    } catch (const std::invalid_argument&) {
-      // Truncated/reset/malformed response; the connection was dropped.
-    }
-
-    if (delivered) {
-      outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+  std::size_t burned = 0;
+  if (failover_.hedge_startup && clients_.size() > 1 &&
+      chunk < failover_.hedge_chunks) {
+    std::optional<sim::FetchOutcome> hedged =
+        try_hedged_fetch(target, start_session_s, burned);
+    if (hedged.has_value()) {
       latency.stop();
-      return outcome;
+      return *hedged;
     }
-    failures_total.increment();
-    if (attempt + 1 < retry_.max_attempts) {
+    // No eligible second origin, or both legs failed: the standard retry
+    // loop finishes the job with whatever attempt budget remains.
+  }
+  sim::FetchOutcome outcome =
+      fetch_with_retries(target, start_session_s, burned);
+  latency.stop();
+  return outcome;
+}
+
+sim::FetchOutcome HttpChunkSource::fetch_with_retries(
+    const std::string& target, double start_session_s,
+    std::size_t burned_attempts) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
+  obs::Counter& failures_total =
+      registry.counter(obs::kFetchAttemptFailuresTotal);
+  obs::Counter& failovers_total = registry.counter(obs::kOriginFailoversTotal);
+
+  // The RetryPolicy budget applies per origin; the breaker usually fails
+  // over long before one origin's budget is exhausted.
+  const std::size_t budget = retry_.max_attempts * clients_.size();
+  sim::FetchOutcome outcome;
+  outcome.attempts = burned_attempts;
+  outcome.origin = current_origin_;
+
+  std::size_t consecutive_failures = 0;
+  while (outcome.attempts < budget) {
+    ++outcome.attempts;
+    const std::optional<std::size_t> origin = pool_.acquire(current_origin_);
+    if (!origin.has_value()) {
+      // Every breaker is open and no probe is due. The denied consults
+      // advanced each probe schedule, so a later cycle will be let through;
+      // the backoff below keeps this loop from spinning.
+      failures_total.increment();
+    } else {
+      if (*origin != current_origin_) {
+        ++failovers_;
+        failovers_total.increment();
+        current_origin_ = *origin;
+      }
+      const std::optional<double> kilobits = attempt(*origin, target);
+      if (kilobits.has_value()) {
+        pool_.report_success(*origin);
+        outcome.kilobits = *kilobits;
+        outcome.origin = *origin;
+        outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+        return outcome;
+      }
+      pool_.report_failure(*origin);
+      failures_total.increment();
+    }
+    ++consecutive_failures;
+    if (outcome.attempts < budget) {
       retries_total.increment();
-      const double backoff_s = retry_.backoff_s(attempt + 1, jitter_rng_);
+      const double backoff_s =
+          retry_.backoff_s(consecutive_failures, jitter_rng_);
       std::this_thread::sleep_for(
           std::chrono::duration<double>(backoff_s / speedup_));
     }
@@ -106,8 +181,150 @@ sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk,
   outcome.failed = true;
   outcome.kilobits = 0.0;
   outcome.duration_s = std::max(now() - start_session_s, 1e-6);
-  latency.stop();
+  outcome.origin = current_origin_;
   return outcome;
+}
+
+std::optional<sim::FetchOutcome> HttpChunkSource::try_hedged_fetch(
+    const std::string& target, double start_session_s, std::size_t& burned) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::optional<std::size_t> primary = pool_.acquire(current_origin_);
+  if (!primary.has_value()) return std::nullopt;
+  if (*primary != current_origin_) {
+    ++failovers_;
+    registry.counter(obs::kOriginFailoversTotal).increment();
+    current_origin_ = *primary;
+  }
+
+  const std::optional<std::size_t> secondary = pool_.hedge_target(*primary);
+  if (!secondary.has_value()) {
+    // Nobody healthy to race against; honour the claim we already made with
+    // a single ordinary attempt, then let the retry loop take over.
+    ++burned;
+    const std::optional<double> kilobits = attempt(*primary, target);
+    if (kilobits.has_value()) {
+      pool_.report_success(*primary);
+      sim::FetchOutcome outcome;
+      outcome.attempts = burned;
+      outcome.origin = *primary;
+      outcome.kilobits = *kilobits;
+      outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+      return outcome;
+    }
+    pool_.report_failure(*primary);
+    registry.counter(obs::kFetchAttemptFailuresTotal).increment();
+    return std::nullopt;
+  }
+
+  ++hedges_launched_;
+  registry.counter(obs::kHedgedRequestsTotal).increment();
+
+  struct Leg {
+    bool done = false;
+    std::optional<double> kilobits;
+  };
+  std::mutex mutex;
+  std::condition_variable cv;
+  Leg legs[2];
+  bool hedge_ran = false;
+  const std::size_t leg_origin[2] = {*primary, *secondary};
+
+  std::thread hedge([&] {
+    if (failover_.hedge_delay_s > 0.0) {
+      std::unique_lock<std::mutex> lock(mutex);
+      const bool primary_won = cv.wait_for(
+          lock,
+          std::chrono::duration<double>(failover_.hedge_delay_s / speedup_),
+          [&] { return legs[0].done && legs[0].kilobits.has_value(); });
+      if (primary_won) {
+        legs[1].done = true;  // cancelled before launch
+        cv.notify_all();
+        return;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      hedge_ran = true;
+    }
+    const std::optional<double> kilobits = attempt(leg_origin[1], target);
+    bool primary_done = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      legs[1].done = true;
+      legs[1].kilobits = kilobits;
+      primary_done = legs[0].done;
+      cv.notify_all();
+    }
+    // A winning hedge cancels the still-running primary leg: its blocked
+    // read fails and the main thread moves on immediately instead of riding
+    // the slow origin to its socket timeout.
+    if (kilobits.has_value() && !primary_done) clients_[leg_origin[0]]->abort();
+  });
+
+  const std::optional<double> primary_result = attempt(leg_origin[0], target);
+  bool hedge_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    legs[0].done = true;
+    legs[0].kilobits = primary_result;
+    hedge_pending = !legs[1].done;
+    cv.notify_all();
+  }
+
+  if (primary_result.has_value()) {
+    // Primary won; cancel a still-running hedge (harmless no-op when the
+    // hedge is idle or already finished).
+    if (hedge_pending) clients_[leg_origin[1]]->abort();
+    hedge.join();
+    pool_.report_success(leg_origin[0]);
+    // The hedge leg is never reported: a failure may only mean we aborted
+    // it, and the breaker must not open on self-inflicted errors.
+    sim::FetchOutcome outcome;
+    outcome.attempts = burned + 1 + (hedge_ran ? 1 : 0);
+    outcome.origin = leg_origin[0];
+    outcome.kilobits = *primary_result;
+    outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+    burned = outcome.attempts;
+    return outcome;
+  }
+
+  // Primary failed — genuinely, or because a winning hedge aborted it.
+  std::optional<double> hedge_result;
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return legs[1].done; });
+    hedge_result = legs[1].kilobits;
+  }
+  hedge.join();
+
+  const bool hedge_won = hedge_result.has_value();
+  // Skip the primary's failure report only when the hedge finished first
+  // and won (the abort case); a failure that predates the hedge's finish is
+  // real even if the hedge went on to win.
+  if (hedge_pending || !hedge_won) {
+    pool_.report_failure(leg_origin[0]);
+    registry.counter(obs::kFetchAttemptFailuresTotal).increment();
+  }
+
+  if (hedge_won) {
+    pool_.report_success(leg_origin[1]);
+    ++hedge_wins_;
+    registry.counter(obs::kHedgeWinsTotal).increment();
+    current_origin_ = leg_origin[1];
+    sim::FetchOutcome outcome;
+    outcome.attempts = burned + 2;
+    outcome.origin = leg_origin[1];
+    outcome.kilobits = *hedge_result;
+    outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+    burned = outcome.attempts;
+    return outcome;
+  }
+
+  // Both legs failed for real.
+  pool_.report_failure(leg_origin[1]);
+  registry.counter(obs::kFetchAttemptFailuresTotal).increment();
+  burned += hedge_ran ? 2 : 1;
+  return std::nullopt;
 }
 
 void HttpChunkSource::wait(double seconds) {
@@ -117,7 +334,7 @@ void HttpChunkSource::wait(double seconds) {
 }
 
 media::VideoManifest HttpChunkSource::fetch_manifest() {
-  const HttpResponse response = client_.get("/manifest.mpd");
+  const HttpResponse response = clients_[0]->get("/manifest.mpd");
   media::VideoManifest fetched = media::from_mpd(response.body);
   if (fetched.level_count() != manifest_->level_count() ||
       fetched.chunk_count() != manifest_->chunk_count()) {

@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "media/manifest.hpp"
 #include "net/http.hpp"
+#include "net/origin_pool.hpp"
 #include "qoe/qoe.hpp"
 #include "sim/chunk_source.hpp"
 #include "sim/player.hpp"
@@ -13,6 +16,32 @@
 #include "util/rng.hpp"
 
 namespace abr::net {
+
+/// One origin's address.
+struct OriginEndpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Multi-origin behaviour knobs for HttpChunkSource. The defaults make the
+/// failover machinery inert: breaker defaults, no hedging.
+struct FailoverOptions {
+  BreakerConfig breaker;
+
+  /// Seeds the per-origin breaker probe jitter (see OriginPool).
+  std::uint64_t seed = 0x0717c3b5ULL;
+
+  /// When true, the first `hedge_chunks` chunks of the session each race a
+  /// second request against another healthy origin (tail-latency insurance
+  /// for the startup-critical chunks that gate playback). The losing leg is
+  /// aborted and not reported to the breaker.
+  bool hedge_startup = false;
+  std::size_t hedge_chunks = 1;
+
+  /// Session-seconds to give the primary leg a head start before launching
+  /// the hedge (0 = race immediately).
+  double hedge_delay_s = 0.0;
+};
 
 /// A sim::ChunkSource that fetches chunks over real HTTP, converting wall
 /// time to session time by the emulation speedup. Plugging this into
@@ -26,8 +55,15 @@ namespace abr::net {
 /// exhaustion through FetchOutcome::failed so PlayerSession can degrade or
 /// skip. Retries, timeouts, and attempt failures are counted in the global
 /// metrics registry.
+///
+/// With more than one origin, every attempt routes through an OriginPool:
+/// per-origin circuit breakers fast-fail origins that look down, failover
+/// moves traffic to the next healthy origin, and a deterministic
+/// (event-counted, seeded) probe schedule revisits the broken one. A
+/// single-origin source behaves exactly as it did before the pool existed.
 class HttpChunkSource final : public sim::ChunkSource {
  public:
+  /// Single-origin convenience constructor (the historical signature).
   /// The manifest must outlive the source. `speedup` must match the
   /// server-side shaper's. Backoff jitter derives from `jitter_seed`.
   HttpChunkSource(std::string host, std::uint16_t port,
@@ -35,22 +71,59 @@ class HttpChunkSource final : public sim::ChunkSource {
                   sim::RetryPolicy retry = {},
                   std::uint64_t jitter_seed = 0x5eedULL);
 
+  /// Multi-origin constructor. `origins` must be non-empty; all origins must
+  /// serve the same video. The per-origin retry budget is `retry`'s — the
+  /// total attempt budget for a chunk is max_attempts * origins.size().
+  HttpChunkSource(std::vector<OriginEndpoint> origins,
+                  const media::VideoManifest& manifest, double speedup = 1.0,
+                  sim::RetryPolicy retry = {},
+                  std::uint64_t jitter_seed = 0x5eedULL,
+                  FailoverOptions failover = {});
+
   sim::FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
   void wait(double seconds) override;
   double now() const override;
 
-  /// Downloads and parses the origin's MPD; throws if it does not match the
-  /// local manifest's ladder (sanity check that client and server agree).
+  /// Downloads and parses the origin's MPD (from origin 0); throws if it
+  /// does not match the local manifest's ladder (sanity check that client
+  /// and server agree).
   media::VideoManifest fetch_manifest();
 
+  const OriginPool& pool() const { return pool_; }
+  std::size_t failovers() const { return failovers_; }
+  std::size_t hedges_launched() const { return hedges_launched_; }
+  std::size_t hedge_wins() const { return hedge_wins_; }
+
  private:
-  HttpClient client_;
-  std::string host_;
+  /// One GET of `target` against `origin`; returns delivered kilobits or
+  /// nullopt on any retryable failure. Throws on 3xx/4xx (config bug).
+  std::optional<double> attempt(std::size_t origin, const std::string& target);
+
+  sim::FetchOutcome fetch_with_retries(const std::string& target,
+                                       double start_session_s,
+                                       std::size_t burned_attempts);
+
+  /// Races `target` against the preferred origin and a hedge target.
+  /// Returns the winning outcome, or nullopt when no second healthy origin
+  /// exists or both legs failed (the caller falls back to the retry loop;
+  /// `burned` reports attempts consumed here).
+  std::optional<sim::FetchOutcome> try_hedged_fetch(const std::string& target,
+                                                    double start_session_s,
+                                                    std::size_t& burned);
+
+  std::vector<OriginEndpoint> origins_;
+  std::vector<std::unique_ptr<HttpClient>> clients_;
   const media::VideoManifest* manifest_;
   double speedup_;
   sim::RetryPolicy retry_;
+  FailoverOptions failover_;
+  OriginPool pool_;
   util::Rng jitter_rng_;
   std::chrono::steady_clock::time_point epoch_;
+  std::size_t current_origin_ = 0;
+  std::size_t failovers_ = 0;
+  std::size_t hedges_launched_ = 0;
+  std::size_t hedge_wins_ = 0;
 };
 
 /// Optional failure regime for run_emulated_session.

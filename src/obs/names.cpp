@@ -12,6 +12,18 @@ std::string fault_kind_label(const std::string& kind) {
   return "kind=\"" + kind + "\"";
 }
 
+std::string origin_label(std::size_t origin) {
+  return "origin=\"" + std::to_string(origin) + "\"";
+}
+
+std::string breaker_transition_label(std::size_t origin, const char* to) {
+  return "origin=\"" + std::to_string(origin) + "\",to=\"" + to + "\"";
+}
+
+std::string bad_request_label(const char* reason) {
+  return std::string("reason=\"") + reason + "\"";
+}
+
 void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* algorithm : {"MPC", "RobustMPC", "FastMPC"}) {
     registry.histogram(kSolveLatencyUs, solve_algorithm_label(algorithm));
@@ -40,6 +52,15 @@ void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* kind :
        {"latency_spike", "stall", "partial_body", "reset", "http_error"}) {
     registry.counter(kFaultsInjectedTotal, fault_kind_label(kind));
+  }
+  registry.counter(kOriginShedTotal);
+  registry.counter(kOriginFailoversTotal);
+  registry.counter(kHedgedRequestsTotal);
+  registry.counter(kHedgeWinsTotal);
+  registry.gauge(kHttpPeakConnections);
+  registry.counter(kDrainForcedClosesTotal);
+  for (const char* reason : {"malformed", "method", "not_found"}) {
+    registry.counter(kHttpBadRequestsTotal, bad_request_label(reason));
   }
 }
 

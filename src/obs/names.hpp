@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace abr::obs {
@@ -48,11 +49,38 @@ inline constexpr char kChunksDegradedTotal[] = "abr_chunks_degraded_total";
 inline constexpr char kChunksSkippedTotal[] = "abr_chunks_skipped_total";
 inline constexpr char kFaultsInjectedTotal[] = "abr_faults_injected_total";
 
+// Origin failover and overload hardening (net/). The shed counter and the
+// breaker fast-fail counter are deliberately distinct families: the first
+// means "origin overloaded" (admission control sent a 503), the second means
+// "origin considered down" (the client refused to even try). Dashboards need
+// to tell those apart.
+inline constexpr char kOriginShedTotal[] = "abr_origin_shed_total";
+inline constexpr char kBreakerFastFailTotal[] =
+    "abr_origin_breaker_fastfail_total";
+inline constexpr char kBreakerTransitionsTotal[] =
+    "abr_origin_breaker_transitions_total";
+inline constexpr char kOriginFailoversTotal[] = "abr_origin_failovers_total";
+inline constexpr char kHedgedRequestsTotal[] = "abr_hedged_requests_total";
+inline constexpr char kHedgeWinsTotal[] = "abr_hedge_wins_total";
+inline constexpr char kHttpBadRequestsTotal[] = "abr_http_bad_requests_total";
+inline constexpr char kHttpPeakConnections[] = "abr_http_peak_connections";
+inline constexpr char kDrainForcedClosesTotal[] =
+    "abr_server_drain_forced_closes_total";
+
 /// Label body for a solve-latency histogram, e.g. algorithm="MPC".
 std::string solve_algorithm_label(const std::string& algorithm);
 
 /// Label body for a fault counter, e.g. kind="reset".
 std::string fault_kind_label(const std::string& kind);
+
+/// Label body for a per-origin counter, e.g. origin="2".
+std::string origin_label(std::size_t origin);
+
+/// Label body for a breaker transition counter, e.g. origin="0",to="open".
+std::string breaker_transition_label(std::size_t origin, const char* to);
+
+/// Label body for a bad-request counter, e.g. reason="malformed".
+std::string bad_request_label(const char* reason);
 
 /// Pre-registers the standard metric families above (with the solve-latency
 /// histograms for MPC, RobustMPC, and FastMPC) so a metrics dump shows the

@@ -19,6 +19,8 @@ struct FetchOutcome {
   double kilobits = 0.0;     ///< payload size actually transferred
   bool failed = false;       ///< every attempt failed; kilobits is 0
   std::size_t attempts = 1;  ///< attempts consumed (>= 1)
+  std::size_t origin = 0;    ///< origin that served (or last refused) the
+                             ///< chunk; 0 for single-origin sources
 };
 
 /// Transport retry semantics shared by the real-HTTP client and the

@@ -173,6 +173,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
       record.size_kilobits = 0.0;
     }
     record.attempts = outcome.attempts;
+    record.origin = outcome.origin;
     record.degraded = degraded;
     record.skipped = skipped;
     assert(outcome.duration_s > 0.0);

@@ -78,6 +78,8 @@ struct ChunkRecord {
   double wait_s = 0.0;             ///< buffer-full wait after this chunk
 
   std::size_t attempts = 1;        ///< transfer attempts across all levels
+  std::size_t origin = 0;          ///< origin that served the chunk (0 for
+                                   ///< single-origin sources)
   bool degraded = false;           ///< fell back to the lowest rung
   bool skipped = false;            ///< never delivered; duration charged as
                                    ///< rebuffering, bitrate recorded as 0

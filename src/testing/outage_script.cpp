@@ -1,0 +1,81 @@
+#include "testing/outage_script.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace abr::testing {
+
+void OutageScript::validate() const {
+  for (const OutageWindow& window : windows) {
+    if (window.down_s < 0.0) {
+      throw std::invalid_argument("OutageScript: negative down_s");
+    }
+    if (window.up_s <= window.down_s) {
+      throw std::invalid_argument("OutageScript: window must end after it starts");
+    }
+  }
+}
+
+bool OutageScript::down(std::size_t origin, double now_s) const {
+  for (const OutageWindow& window : windows) {
+    if (window.origin != origin) continue;
+    if (now_s >= window.down_s && now_s < window.up_s) return true;
+  }
+  return false;
+}
+
+double OutageScript::last_recovery_s() const {
+  double latest = 0.0;
+  for (const OutageWindow& window : windows) {
+    if (window.up_s > latest) latest = window.up_s;
+  }
+  return latest;
+}
+
+OutageWindow OutageScript::parse_kill_spec(std::string_view spec) {
+  OutageWindow window;
+  window.up_s = std::numeric_limits<double>::infinity();  // "never restarts"
+  bool has_at = false;
+  for (const std::string_view part : util::split(spec, ',')) {
+    const std::size_t equals = part.find('=');
+    if (equals == std::string_view::npos) {
+      throw std::invalid_argument("kill spec: expected key=value, got '" +
+                                  std::string(part) + "'");
+    }
+    const std::string_view key = util::trim(part.substr(0, equals));
+    const std::string value(util::trim(part.substr(equals + 1)));
+    if (value.empty()) {
+      throw std::invalid_argument("kill spec: empty value for '" +
+                                  std::string(key) + "'");
+    }
+    char* end = nullptr;
+    const double number = std::strtod(value.c_str(), &end);
+    if (end != value.c_str() + value.size()) {
+      throw std::invalid_argument("kill spec: bad number '" + value + "'");
+    }
+    if (key == "at") {
+      window.down_s = number;
+      has_at = true;
+    } else if (key == "restart") {
+      window.up_s = number;
+    } else if (key == "origin") {
+      if (number < 0.0) {
+        throw std::invalid_argument("kill spec: negative origin index");
+      }
+      window.origin = static_cast<std::size_t>(number);
+    } else {
+      throw std::invalid_argument("kill spec: unknown key '" +
+                                  std::string(key) + "'");
+    }
+  }
+  if (!has_at) {
+    throw std::invalid_argument("kill spec: missing 'at=' (kill time)");
+  }
+  return window;
+}
+
+}  // namespace abr::testing

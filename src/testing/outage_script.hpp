@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace abr::testing {
+
+/// One origin-down interval in session time: the origin refuses connections
+/// (or, for a live ChunkServer, is stopped and later restarted) during
+/// [down_s, up_s).
+struct OutageWindow {
+  std::size_t origin = 0;
+  double down_s = 0.0;
+  double up_s = 0.0;
+};
+
+/// A deterministic origin-outage schedule — the chaos counterpart of
+/// FaultPlan. FaultPlan perturbs individual request attempts; OutageScript
+/// takes whole origins down for intervals of session time. Session time is
+/// virtual in `abrsim --origins` runs (what makes two runs bit-identical)
+/// and trace time for a live multi-origin emulation (where the harness
+/// stops/starts real ChunkServers on the same schedule).
+struct OutageScript {
+  std::vector<OutageWindow> windows;
+
+  /// Throws std::invalid_argument on inverted or negative windows.
+  void validate() const;
+
+  /// True when `origin` is inside any of its down windows at time `now_s`.
+  bool down(std::size_t origin, double now_s) const;
+
+  /// Latest up_s across all windows (0 when empty): after this instant every
+  /// origin is back for good.
+  double last_recovery_s() const;
+
+  /// Parses the abrsim `--kill-origin` spec "at=T[,restart=U][,origin=K]"
+  /// (restart defaults to "never", origin to 0). Throws
+  /// std::invalid_argument on unknown keys or malformed numbers.
+  static OutageWindow parse_kill_spec(std::string_view spec);
+};
+
+}  // namespace abr::testing

@@ -10,6 +10,7 @@
 //   abrsim --algorithm fastmpc --dataset fcc --chunk-log
 //   abrsim --algorithm robustmpc --dataset fcc --metrics --trace-out t.json
 //   abrsim --algorithm robustmpc --dataset hsdpa --faults plan.json
+//   abrsim --origins 2 --kill-origin at=60,restart=150 --chunk-log
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -21,6 +22,8 @@
 #include "core/algorithms.hpp"
 #include "core/offline_optimal.hpp"
 #include "media/mpd.hpp"
+#include "net/origin_pool.hpp"
+#include "net/origin_sim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace_event.hpp"
@@ -28,6 +31,7 @@
 #include "sim/player.hpp"
 #include "testing/fault_plan.hpp"
 #include "testing/faulty_source.hpp"
+#include "testing/outage_script.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
 #include "util/csv.hpp"
@@ -53,6 +57,8 @@ struct Options {
   bool metrics = false;
   std::string trace_out;
   std::string faults_path;
+  std::size_t origins = 1;
+  std::vector<std::string> kill_specs;
 };
 
 void usage() {
@@ -75,7 +81,14 @@ void usage() {
       "                            trace-event JSON (chrome://tracing)\n"
       "  --faults PLAN.json        inject transport faults per a seeded\n"
       "                            FaultPlan (deterministic: same plan =>\n"
-      "                            bit-identical session)");
+      "                            bit-identical session)\n"
+      "  --origins N               route every chunk through a pool of N\n"
+      "                            virtual origins with per-origin circuit\n"
+      "                            breakers and automatic failover\n"
+      "  --kill-origin SPEC        take an origin down in session time:\n"
+      "                            at=T[,restart=U][,origin=K]; repeatable.\n"
+      "                            Deterministic: same flags => bit-identical\n"
+      "                            chunk log. Implies --origins 2 unless set.");
 }
 
 std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
@@ -125,6 +138,9 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--metrics") options.metrics = true;
     else if (arg == "--trace-out") options.trace_out = value();
     else if (arg == "--faults") options.faults_path = value();
+    else if (arg == "--origins")
+      options.origins = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--kill-origin") options.kill_specs.emplace_back(value());
     else if (arg == "--help") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -209,15 +225,34 @@ int main(int argc, char** argv) {
   algo_options.mpc_horizon = options.horizon;
   auto instance = core::make_algorithm(*algorithm, manifest, model, algo_options);
 
-  // With --faults, wrap the virtual-time source in the seeded fault
-  // injector; everything stays deterministic, so the chunk log is
-  // bit-identical across runs of the same plan.
+  // Source chain: trace -> [origin pool chaos] -> [fault injection]. All
+  // three layers run in virtual time off seeded RNGs, so any combination
+  // produces a bit-identical chunk log across runs of the same flags.
   sim::TraceChunkSource base_source(session_trace, manifest);
+  std::optional<net::SimulatedOriginSource> origin_source;
   std::optional<abr::testing::FaultySource> faulty_source;
   sim::ChunkSource* source = &base_source;
+  if (options.origins > 1 || !options.kill_specs.empty()) {
+    try {
+      abr::testing::OutageScript script;
+      for (const std::string& spec : options.kill_specs) {
+        script.windows.push_back(
+            abr::testing::OutageScript::parse_kill_spec(spec));
+      }
+      net::SimulatedOriginOptions origin_options;
+      origin_options.origins = std::max<std::size_t>(options.origins, 2);
+      origin_options.seed = options.seed;
+      origin_source.emplace(session_trace, manifest, std::move(script),
+                            origin_options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    source = &*origin_source;
+  }
   if (!options.faults_path.empty()) {
     try {
-      faulty_source.emplace(base_source,
+      faulty_source.emplace(*source,
                             abr::testing::FaultPlan::load(options.faults_path));
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -254,6 +289,21 @@ int main(int argc, char** argv) {
     std::printf("degraded chunks:  %zu\n", result.degraded_chunks);
     std::printf("skipped chunks:   %zu\n", result.skipped_chunks);
   }
+  if (origin_source.has_value()) {
+    const net::OriginPool& pool = origin_source->pool();
+    std::printf("\norigin pool:      %zu origins, %zu failovers, "
+                "%zu attempt failures, %zu retries\n",
+                pool.size(), origin_source->failovers(),
+                origin_source->attempt_failures(), origin_source->retries());
+    std::printf("degraded chunks:  %zu\nskipped chunks:   %zu\n",
+                result.degraded_chunks, result.skipped_chunks);
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      std::printf("origin %zu:         breaker %s, %zu fast-fails, "
+                  "transitions %s\n",
+                  i, net::breaker_state_name(pool.state(i)), pool.fast_fails(i),
+                  pool.transition_string(i).c_str());
+    }
+  }
 
   if (!options.skip_optimal) {
     const core::OfflineOptimalPlanner planner(manifest, model, session);
@@ -264,12 +314,13 @@ int main(int argc, char** argv) {
 
   if (options.chunk_log) {
     std::printf("\nchunk,level,bitrate_kbps,start_s,download_s,throughput_kbps,"
-                "buffer_after_s,rebuffer_s,wait_s,attempts,degraded,skipped\n");
+                "buffer_after_s,rebuffer_s,wait_s,attempts,degraded,skipped,"
+                "origin\n");
     for (const sim::ChunkRecord& r : result.chunks) {
-      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f,%zu,%d,%d\n",
+      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f,%zu,%d,%d,%zu\n",
                   r.index, r.level, r.bitrate_kbps, r.start_s, r.download_s,
                   r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s,
-                  r.attempts, r.degraded ? 1 : 0, r.skipped ? 1 : 0);
+                  r.attempts, r.degraded ? 1 : 0, r.skipped ? 1 : 0, r.origin);
     }
   }
 
