@@ -60,13 +60,13 @@ void TcpServer::accept_loop() {
       // Back off briefly (pruning below also releases descriptors of
       // finished sessions) and keep accepting rather than killing the loop.
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         prune_finished_locked();
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (!running_.load()) break;  // stop() raced us; drop the connection
     prune_finished_locked();
     if (max_connections_ != 0 && active_locked() >= max_connections_) {
@@ -105,12 +105,12 @@ std::size_t TcpServer::active_locked() const {
 }
 
 std::size_t TcpServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return active_locked();
 }
 
 std::size_t TcpServer::tracked_connections() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return connections_.size();
 }
 
@@ -125,7 +125,7 @@ void TcpServer::stop() {
   // handler thread still uses them.
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     connections.swap(connections_);
   }
   for (const auto& connection : connections) {
@@ -151,7 +151,7 @@ std::size_t TcpServer::drain(double deadline_s) {
   while (std::chrono::steady_clock::now() < deadline) {
     bool idle = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       prune_finished_locked();
       idle = connections_.empty();
     }
@@ -162,7 +162,7 @@ std::size_t TcpServer::drain(double deadline_s) {
   // Deadline passed (or everyone finished): force-close the stragglers.
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     prune_finished_locked();
     connections.swap(connections_);
   }
@@ -249,7 +249,7 @@ std::size_t ChunkServer::drain(double deadline_s) {
 }
 
 void ChunkServer::reset_trace_clock() {
-  std::lock_guard<std::mutex> lock(shaper_mutex_);
+  const util::MutexLock lock(shaper_mutex_);
   shaper_.reset_epoch();
 }
 
@@ -410,24 +410,24 @@ void ChunkServer::handle_connection(TcpStream& stream) {
         const auto split = static_cast<std::size_t>(
             static_cast<double>(body.size()) * fault.body_fraction);
         {
-          std::lock_guard<std::mutex> lock(shaper_mutex_);
+          const util::MutexLock lock(shaper_mutex_);
           shaper_.send(connection.stream(), body.substr(0, split));
         }
         std::this_thread::sleep_for(
             std::chrono::duration<double>(fault.stall_s / speedup_));
-        std::lock_guard<std::mutex> lock(shaper_mutex_);
+        const util::MutexLock lock(shaper_mutex_);
         shaper_.send(connection.stream(), body.substr(split));
       } else if (fault.kind == testing::FaultKind::kPartialBody) {
         const auto split = static_cast<std::size_t>(
             static_cast<double>(body.size()) * fault.body_fraction);
         {
-          std::lock_guard<std::mutex> lock(shaper_mutex_);
+          const util::MutexLock lock(shaper_mutex_);
           shaper_.send(connection.stream(), body.substr(0, split));
         }
         stream.shutdown_both();
         break;
       } else {
-        std::lock_guard<std::mutex> lock(shaper_mutex_);
+        const util::MutexLock lock(shaper_mutex_);
         shaper_.send(connection.stream(), body);
       }
 

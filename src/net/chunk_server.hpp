@@ -3,7 +3,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +13,8 @@
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "trace/throughput_trace.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::net {
 
@@ -58,13 +59,13 @@ class TcpServer {
   /// port() restarts the origin on the same address, which is how the chaos
   /// harness brings a killed origin back.
   void start(std::uint16_t port = 0);
-  void stop();
+  void stop() ABR_EXCLUDES(mutex_);
 
   /// Graceful shutdown: closes the listener, waits up to `deadline_s` for
   /// in-flight sessions to finish on their own, then force-closes the
   /// stragglers and joins everything. Returns the number of connections
   /// that had to be force-closed. Idempotent with stop() in either order.
-  std::size_t drain(double deadline_s);
+  std::size_t drain(double deadline_s) ABR_EXCLUDES(mutex_);
 
   /// True from the moment drain() begins until the next start(). Session
   /// handlers poll this to stop keep-alive loops at the next boundary.
@@ -76,12 +77,12 @@ class TcpServer {
 
   std::uint16_t port() const { return port_; }
 
-  std::size_t active_connections() const;
+  std::size_t active_connections() const ABR_EXCLUDES(mutex_);
   std::size_t peak_connections() const { return peak_.load(); }
   std::size_t rejected_connections() const { return rejected_.load(); }
   /// Tracked entries including finished-but-unpruned ones (tests use this to
   /// show pruning keeps the vector bounded).
-  std::size_t tracked_connections() const;
+  std::size_t tracked_connections() const ABR_EXCLUDES(mutex_);
 
  private:
   struct Connection {
@@ -90,10 +91,12 @@ class TcpServer {
     std::atomic<bool> done{false};
   };
 
-  void accept_loop();
-  void spawn_locked(TcpStream stream, const std::function<void(TcpStream&)>& run);
-  void prune_finished_locked();
-  std::size_t active_locked() const;
+  void accept_loop() ABR_EXCLUDES(mutex_);
+  void spawn_locked(TcpStream stream,
+                    const std::function<void(TcpStream&)>& run)
+      ABR_REQUIRES(mutex_);
+  void prune_finished_locked() ABR_REQUIRES(mutex_);
+  std::size_t active_locked() const ABR_REQUIRES(mutex_);
 
   SessionHandler session_;
   RejectHandler reject_;
@@ -101,8 +104,9 @@ class TcpServer {
   std::uint16_t port_ = 0;
   std::size_t max_connections_ = 0;
   std::thread accept_thread_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  mutable util::Mutex mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      ABR_GUARDED_BY(mutex_);
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<std::size_t> peak_{0};
@@ -169,7 +173,7 @@ class ChunkServer {
 
   /// Resets the shaper's trace clock to "now" (call right before the client
   /// starts streaming so client session time and trace time align).
-  void reset_trace_clock();
+  void reset_trace_clock() ABR_EXCLUDES(shaper_mutex_);
 
   /// Total requests served (observability for tests).
   std::size_t requests_served() const { return requests_served_.load(); }
@@ -180,14 +184,14 @@ class ChunkServer {
   const TcpServer& transport() const { return server_; }
 
  private:
-  void handle_connection(TcpStream& stream);
+  void handle_connection(TcpStream& stream) ABR_EXCLUDES(shaper_mutex_);
   void reject_connection(TcpStream& stream);
   HttpResponse route(const HttpRequest& request) const;
 
   const media::VideoManifest* manifest_;
   std::string mpd_;
-  TraceShaper shaper_;
-  std::mutex shaper_mutex_;
+  TraceShaper shaper_ ABR_GUARDED_BY(shaper_mutex_);
+  util::Mutex shaper_mutex_;
   double speedup_;
   ChunkServerOptions options_;
   FaultInjector* injector_ = nullptr;

@@ -12,7 +12,7 @@ FaultInjector::FaultInjector(testing::FaultPlan plan) : plan_(plan) {
 testing::FaultDecision FaultInjector::next(std::size_t chunk) {
   std::size_t attempt = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     attempt = attempts_[chunk]++;
   }
   const testing::FaultDecision decision = plan_.decide(chunk, attempt);

@@ -3,9 +3,10 @@
 #include <atomic>
 #include <cstddef>
 #include <map>
-#include <mutex>
 
 #include "testing/fault_plan.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::net {
 
@@ -26,7 +27,7 @@ class FaultInjector {
 
   /// Decision for the next request targeting `chunk` (advances that chunk's
   /// attempt counter).
-  testing::FaultDecision next(std::size_t chunk);
+  testing::FaultDecision next(std::size_t chunk) ABR_EXCLUDES(mutex_);
 
   const testing::FaultPlan& plan() const { return plan_; }
 
@@ -35,8 +36,8 @@ class FaultInjector {
 
  private:
   testing::FaultPlan plan_;
-  std::mutex mutex_;
-  std::map<std::size_t, std::size_t> attempts_;
+  util::Mutex mutex_;
+  std::map<std::size_t, std::size_t> attempts_ ABR_GUARDED_BY(mutex_);
   std::atomic<std::size_t> injected_{0};
 };
 

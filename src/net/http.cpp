@@ -218,7 +218,7 @@ HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
     : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
 
 void HttpClient::set_timeout_ms(int timeout_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   timeout_ms_ = timeout_ms;
   connection_.reset();
 }
@@ -232,7 +232,7 @@ void HttpClient::ensure_connected_locked() {
 }
 
 void HttpClient::abort() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (connection_.has_value()) connection_->stream().shutdown_both();
 }
 
@@ -248,7 +248,7 @@ HttpResponse HttpClient::request(const std::string& target,
   // below destroys the object, so the pointer stays valid throughout.
   HttpConnection* connection = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     ensure_connected_locked();
     connection = &*connection_;
   }
@@ -258,12 +258,12 @@ HttpResponse HttpClient::request(const std::string& target,
     const std::string* connection_header = response.headers.find("Connection");
     if (connection_header != nullptr &&
         util::iequals(*connection_header, "close")) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock reset_lock(mutex_);
       connection_.reset();
     }
     return response;
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock reset_lock(mutex_);
     connection_.reset();
     throw;
   }

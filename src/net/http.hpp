@@ -2,12 +2,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "net/socket.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::net {
 
@@ -103,7 +104,7 @@ class HttpClient {
 
   /// Applies to connections established after the call (the current
   /// connection, if any, is dropped so the next request reconnects).
-  void set_timeout_ms(int timeout_ms);
+  void set_timeout_ms(int timeout_ms) ABR_EXCLUDES(mutex_);
 
   /// GETs `target`; throws std::runtime_error on non-2xx. Retries once on a
   /// transport error (persistent connection closed under us).
@@ -115,22 +116,23 @@ class HttpClient {
   /// attempt to be visible). On any thrown error the connection is dropped,
   /// so the next call reconnects.
   HttpResponse request(const std::string& target,
-                       const ProgressCallback& progress = nullptr);
+                       const ProgressCallback& progress = nullptr)
+      ABR_EXCLUDES(mutex_);
 
   /// Interrupts an in-flight request from another thread: shuts down the
   /// current connection, so the blocked read/write fails with an error the
   /// requesting thread surfaces as a transport failure. Safe to call at any
   /// time; a no-op when idle.
-  void abort();
+  void abort() ABR_EXCLUDES(mutex_);
 
  private:
-  void ensure_connected_locked();
+  void ensure_connected_locked() ABR_REQUIRES(mutex_);
 
   std::string host_;
   std::uint16_t port_;
-  int timeout_ms_;
-  std::mutex mutex_;  ///< guards connection_ creation/teardown (not I/O)
-  std::optional<HttpConnection> connection_;
+  int timeout_ms_ ABR_GUARDED_BY(mutex_);
+  util::Mutex mutex_;  ///< guards connection_ creation/teardown (not I/O)
+  std::optional<HttpConnection> connection_ ABR_GUARDED_BY(mutex_);
 };
 
 /// Parses "GET /path HTTP/1.1" style request lines and status lines;

@@ -133,6 +133,11 @@ OriginPool::OriginPool(std::size_t count, BreakerConfig config,
   }
 }
 
+std::size_t OriginPool::size() const {
+  const util::MutexLock lock(mutex_);
+  return breakers_.size();
+}
+
 void OriginPool::note_transition(std::size_t origin, BreakerState before) {
   const BreakerState now = breakers_[origin].state();
   if (now == before) return;
@@ -144,7 +149,7 @@ void OriginPool::note_transition(std::size_t origin, BreakerState before) {
 }
 
 std::optional<std::size_t> OriginPool::acquire(std::size_t preferred) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const std::size_t n = breakers_.size();
   if (n == 1) return 0;  // single origin: breaker bypass (see class comment)
 
@@ -170,7 +175,7 @@ std::optional<std::size_t> OriginPool::acquire(std::size_t preferred) {
 }
 
 std::optional<std::size_t> OriginPool::hedge_target(std::size_t exclude) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (std::size_t i = 0; i < breakers_.size(); ++i) {
     if (i == exclude) continue;
     if (breakers_[i].state() == BreakerState::kClosed) return i;
@@ -179,7 +184,7 @@ std::optional<std::size_t> OriginPool::hedge_target(std::size_t exclude) const {
 }
 
 void OriginPool::report_success(std::size_t origin) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (breakers_.size() == 1) return;
   const BreakerState before = breakers_.at(origin).state();
   breakers_[origin].record_success();
@@ -187,7 +192,7 @@ void OriginPool::report_success(std::size_t origin) {
 }
 
 void OriginPool::report_failure(std::size_t origin) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (breakers_.size() == 1) return;
   const BreakerState before = breakers_.at(origin).state();
   breakers_[origin].record_failure();
@@ -195,22 +200,22 @@ void OriginPool::report_failure(std::size_t origin) {
 }
 
 BreakerState OriginPool::state(std::size_t origin) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return breakers_.at(origin).state();
 }
 
 std::size_t OriginPool::fast_fails(std::size_t origin) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return fast_fails_.at(origin);
 }
 
 std::vector<BreakerTransition> OriginPool::transitions() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return transitions_;
 }
 
 std::string OriginPool::transition_string(std::size_t origin) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::string out = breaker_state_name(BreakerState::kClosed);
   for (const BreakerTransition& transition : transitions_) {
     if (transition.origin != origin) continue;

@@ -2,12 +2,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::obs {
 class Counter;
@@ -119,43 +120,47 @@ class OriginPool {
   explicit OriginPool(std::size_t count, BreakerConfig config = {},
                       std::uint64_t seed = 0x0717c3b5ULL);
 
-  std::size_t size() const { return breakers_.size(); }
+  std::size_t size() const ABR_EXCLUDES(mutex_);
 
-  std::optional<std::size_t> acquire(std::size_t preferred);
+  std::optional<std::size_t> acquire(std::size_t preferred)
+      ABR_EXCLUDES(mutex_);
 
   /// A side-effect-free pick for hedged requests: the first origin other
   /// than `exclude` whose breaker is closed. No ticks, no claims — hedges
   /// never disturb the probe schedule.
-  std::optional<std::size_t> hedge_target(std::size_t exclude) const;
+  std::optional<std::size_t> hedge_target(std::size_t exclude) const
+      ABR_EXCLUDES(mutex_);
 
-  void report_success(std::size_t origin);
-  void report_failure(std::size_t origin);
+  void report_success(std::size_t origin) ABR_EXCLUDES(mutex_);
+  void report_failure(std::size_t origin) ABR_EXCLUDES(mutex_);
 
-  BreakerState state(std::size_t origin) const;
+  BreakerState state(std::size_t origin) const ABR_EXCLUDES(mutex_);
 
   /// Denied consults of this origin's open breaker (the "breaker-opened
   /// fast-fail" counter, also exported per-origin to the registry).
-  std::size_t fast_fails(std::size_t origin) const;
+  std::size_t fast_fails(std::size_t origin) const ABR_EXCLUDES(mutex_);
 
   /// Every breaker state change so far, in order. Deterministic for a
   /// deterministic request sequence.
-  std::vector<BreakerTransition> transitions() const;
+  std::vector<BreakerTransition> transitions() const ABR_EXCLUDES(mutex_);
 
   /// transitions() restricted to one origin, rendered as
   /// "closed->open->half_open->closed" (leading state included). Handy for
   /// logs and golden assertions.
-  std::string transition_string(std::size_t origin) const;
+  std::string transition_string(std::size_t origin) const
+      ABR_EXCLUDES(mutex_);
 
  private:
   /// Appends a transition + metric if `breaker`'s state differs from
-  /// `before`. Callers hold mutex_.
-  void note_transition(std::size_t origin, BreakerState before);
+  /// `before`.
+  void note_transition(std::size_t origin, BreakerState before)
+      ABR_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<CircuitBreaker> breakers_;
-  std::vector<std::size_t> fast_fails_;
-  std::vector<BreakerTransition> transitions_;
-  std::vector<obs::Counter*> fast_fail_counters_;
+  mutable util::Mutex mutex_;
+  std::vector<CircuitBreaker> breakers_ ABR_GUARDED_BY(mutex_);
+  std::vector<std::size_t> fast_fails_ ABR_GUARDED_BY(mutex_);
+  std::vector<BreakerTransition> transitions_ ABR_GUARDED_BY(mutex_);
+  std::vector<obs::Counter*> fast_fail_counters_ ABR_GUARDED_BY(mutex_);
 };
 
 }  // namespace abr::net

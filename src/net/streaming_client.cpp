@@ -2,8 +2,6 @@
 
 #include <cerrno>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
@@ -13,6 +11,7 @@
 #include "net/faults.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
+#include "util/mutex.hpp"
 
 namespace abr::net {
 
@@ -223,17 +222,17 @@ std::optional<sim::FetchOutcome> HttpChunkSource::try_hedged_fetch(
     bool done = false;
     std::optional<double> kilobits;
   };
-  std::mutex mutex;
-  std::condition_variable cv;
+  util::Mutex mutex;
+  util::CondVar cv;
   Leg legs[2];
   bool hedge_ran = false;
   const std::size_t leg_origin[2] = {*primary, *secondary};
 
   std::thread hedge([&] {
     if (failover_.hedge_delay_s > 0.0) {
-      std::unique_lock<std::mutex> lock(mutex);
+      const util::MutexLock lock(mutex);
       const bool primary_won = cv.wait_for(
-          lock,
+          mutex,
           std::chrono::duration<double>(failover_.hedge_delay_s / speedup_),
           [&] { return legs[0].done && legs[0].kilobits.has_value(); });
       if (primary_won) {
@@ -243,13 +242,13 @@ std::optional<sim::FetchOutcome> HttpChunkSource::try_hedged_fetch(
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const util::MutexLock lock(mutex);
       hedge_ran = true;
     }
     const std::optional<double> kilobits = attempt(leg_origin[1], target);
     bool primary_done = false;
     {
-      std::lock_guard<std::mutex> lock(mutex);
+      const util::MutexLock lock(mutex);
       legs[1].done = true;
       legs[1].kilobits = kilobits;
       primary_done = legs[0].done;
@@ -264,7 +263,7 @@ std::optional<sim::FetchOutcome> HttpChunkSource::try_hedged_fetch(
   const std::optional<double> primary_result = attempt(leg_origin[0], target);
   bool hedge_pending = false;
   {
-    std::lock_guard<std::mutex> lock(mutex);
+    const util::MutexLock lock(mutex);
     legs[0].done = true;
     legs[0].kilobits = primary_result;
     hedge_pending = !legs[1].done;
@@ -291,8 +290,8 @@ std::optional<sim::FetchOutcome> HttpChunkSource::try_hedged_fetch(
   // Primary failed — genuinely, or because a winning hedge aborted it.
   std::optional<double> hedge_result;
   {
-    std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return legs[1].done; });
+    const util::MutexLock lock(mutex);
+    cv.wait(mutex, [&] { return legs[1].done; });
     hedge_result = legs[1].kilobits;
   }
   hedge.join();

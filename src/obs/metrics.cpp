@@ -162,7 +162,7 @@ MetricsRegistry& MetricsRegistry::global() {
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& entry = counters_[key(name, labels)];
   if (!entry.instrument) {
     entry.name = name;
@@ -174,7 +174,7 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& entry = gauges_[key(name, labels)];
   if (!entry.instrument) {
     entry.name = name;
@@ -187,7 +187,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name,
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& labels,
                                       std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& entry = histograms_[key(name, labels)];
   if (!entry.instrument) {
     entry.name = name;
@@ -200,7 +200,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [k, entry] : counters_) {
     snap.counters[k] = entry.instrument->value();
@@ -215,7 +215,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::write_prometheus(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
 
   // The maps are keyed by name{labels}, and '{' sorts after every
   // identifier character, so label variants of one family are adjacent:
@@ -259,7 +259,7 @@ void MetricsRegistry::write_prometheus(std::ostream& out) const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   for (auto& [k, entry] : counters_) {
     entry.instrument->value_.store(0.0, std::memory_order_relaxed);
   }

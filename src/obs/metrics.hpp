@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::obs {
 
@@ -159,24 +161,26 @@ class MetricsRegistry {
 
   /// `labels` is a raw Prometheus label body, e.g. `algorithm="MPC"`; the
   /// same (name, labels) pair always returns the same instrument.
-  Counter& counter(const std::string& name, const std::string& labels = "");
-  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  Counter& counter(const std::string& name, const std::string& labels = "")
+      ABR_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, const std::string& labels = "")
+      ABR_EXCLUDES(mutex_);
 
   /// Empty `bounds` selects default_latency_buckets_us(). Bounds must be
   /// strictly increasing; they are fixed at first registration (later calls
   /// with different bounds return the existing instrument).
   Histogram& histogram(const std::string& name, const std::string& labels = "",
-                       std::vector<double> bounds = {});
+                       std::vector<double> bounds = {}) ABR_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const ABR_EXCLUDES(mutex_);
 
   /// Prometheus text exposition format (# TYPE lines, cumulative
   /// `_bucket{le=...}` plus `_sum`/`_count` for histograms).
-  void write_prometheus(std::ostream& out) const;
+  void write_prometheus(std::ostream& out) const ABR_EXCLUDES(mutex_);
 
   /// Zeroes every instrument's value. Instruments stay registered, so
   /// references held by callers remain valid.
-  void reset();
+  void reset() ABR_EXCLUDES(mutex_);
 
  private:
   template <typename T>
@@ -191,10 +195,10 @@ class MetricsRegistry {
   }
 
   std::atomic<bool> enabled_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Named<Counter>> counters_;
-  std::map<std::string, Named<Gauge>> gauges_;
-  std::map<std::string, Named<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Named<Counter>> counters_ ABR_GUARDED_BY(mutex_);
+  std::map<std::string, Named<Gauge>> gauges_ ABR_GUARDED_BY(mutex_);
+  std::map<std::string, Named<Histogram>> histograms_ ABR_GUARDED_BY(mutex_);
 };
 
 }  // namespace abr::obs

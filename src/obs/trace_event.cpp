@@ -73,7 +73,7 @@ void append_args(std::string& out, const std::vector<TraceArg>& args) {
 }  // namespace
 
 void TraceWriter::push(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   events_.push_back(std::move(event));
 }
 
@@ -137,12 +137,12 @@ void TraceWriter::set_thread_name(std::string name, int tid, int pid) {
 }
 
 std::size_t TraceWriter::event_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_.size();
 }
 
 std::size_t TraceWriter::event_count(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::size_t count = 0;
   for (const TraceEvent& event : events_) {
     if (event.name == name) ++count;
@@ -151,12 +151,12 @@ std::size_t TraceWriter::event_count(std::string_view name) const {
 }
 
 std::vector<TraceEvent> TraceWriter::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return events_;
 }
 
 void TraceWriter::write(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::string json;
   json.reserve(events_.size() * 96 + 128);
   json += "{\"traceEvents\":[";

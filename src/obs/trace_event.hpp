@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace abr::obs {
 
@@ -69,20 +71,21 @@ class TraceWriter {
   void set_process_name(std::string name, int pid = 1);
   void set_thread_name(std::string name, int tid, int pid = 1);
 
-  std::size_t event_count() const;
-  std::size_t event_count(std::string_view name) const;
-  std::vector<TraceEvent> events() const;  ///< copy, for tests
+  std::size_t event_count() const ABR_EXCLUDES(mutex_);
+  std::size_t event_count(std::string_view name) const ABR_EXCLUDES(mutex_);
+  /// Copy, for tests.
+  std::vector<TraceEvent> events() const ABR_EXCLUDES(mutex_);
 
   /// Writes {"traceEvents": [...], ...}; valid JSON regardless of event
   /// names/args (strings are escaped).
-  void write(std::ostream& out) const;
-  void save(const std::string& path) const;
+  void write(std::ostream& out) const ABR_EXCLUDES(mutex_);
+  void save(const std::string& path) const ABR_EXCLUDES(mutex_);
 
  private:
-  void push(TraceEvent event);
+  void push(TraceEvent event) ABR_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> events_ ABR_GUARDED_BY(mutex_);
   bool enabled_;
 };
 

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace abr::util {
+
+/// std::mutex with Clang thread-safety annotations. Use together with
+/// ABR_GUARDED_BY / ABR_REQUIRES so the Clang CI leg proves the lock
+/// discipline instead of TSan hoping to catch a violation at runtime.
+/// Zero-overhead: the wrapper is exactly a std::mutex at runtime.
+class ABR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ABR_ACQUIRE() { mutex_.lock(); }
+  void unlock() ABR_RELEASE() { mutex_.unlock(); }
+  bool try_lock() ABR_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// Scoped lock for Mutex (the std::lock_guard counterpart the analysis can
+/// see). Acquires in the constructor, releases in the destructor.
+class ABR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ABR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() ABR_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable that waits on a util::Mutex. Waits take the Mutex
+/// itself (it satisfies BasicLockable), so callers keep a MutexLock in scope
+/// and the analysis can check ABR_REQUIRES on every wait:
+///
+///   MutexLock lock(mutex_);
+///   cv_.wait(mutex_, [&] { return ready_; });
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+  void wait(Mutex& mutex) ABR_REQUIRES(mutex) { cv_.wait(mutex); }
+
+  template <typename Predicate>
+  void wait(Mutex& mutex, Predicate predicate) ABR_REQUIRES(mutex) {
+    cv_.wait(mutex, std::move(predicate));
+  }
+
+  /// Returns the predicate's value at wakeup (false = timed out).
+  template <typename Rep, typename Period, typename Predicate>
+  bool wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& rel,
+                Predicate predicate) ABR_REQUIRES(mutex) {
+    return cv_.wait_for(mutex, rel, std::move(predicate));
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace abr::util

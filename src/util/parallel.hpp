@@ -3,9 +3,10 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace abr::util {
 
@@ -37,7 +38,7 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
 
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   const std::size_t per_worker = (count + worker_count - 1) / worker_count;
   std::vector<std::thread> workers;
@@ -53,7 +54,7 @@ void parallel_for(std::size_t count, Fn&& fn, std::size_t threads = 0) {
         try {
           fn(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
+          const MutexLock lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
           failed.store(true, std::memory_order_relaxed);
           return;

@@ -1,0 +1,64 @@
+#pragma once
+
+// Clang thread-safety analysis attributes (-Wthread-safety), spelled with an
+// ABR_ prefix so the codebase reads uniformly. On compilers without the
+// analysis (gcc, msvc) every macro expands to nothing, so annotated code
+// builds everywhere and the analysis runs on the Clang CI leg.
+//
+// Usage pattern (see util/mutex.hpp for the annotated lock types):
+//
+//   class Table {
+//    public:
+//     void insert(int key) ABR_EXCLUDES(mutex_);
+//    private:
+//     void grow_locked() ABR_REQUIRES(mutex_);
+//     mutable util::Mutex mutex_;
+//     std::map<int, int> entries_ ABR_GUARDED_BY(mutex_);
+//   };
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#if defined(__clang__)
+#define ABR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ABR_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a class as a lockable capability (a mutex).
+#define ABR_CAPABILITY(x) ABR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define ABR_SCOPED_CAPABILITY ABR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be touched while holding the given mutex.
+#define ABR_GUARDED_BY(x) ABR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define ABR_PT_GUARDED_BY(x) ABR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and does not release it).
+#define ABR_ACQUIRE(...) ABR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define ABR_RELEASE(...) ABR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; first argument is the success return value.
+#define ABR_TRY_ACQUIRE(...) \
+  ABR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must already hold the given mutex(es). The convention throughout
+/// this codebase is that such helpers carry a `_locked` name suffix.
+#define ABR_REQUIRES(...) \
+  ABR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the given mutex(es); the function takes them itself.
+/// Catches self-deadlock on non-recursive locks at compile time.
+#define ABR_EXCLUDES(...) ABR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define ABR_RETURN_CAPABILITY(x) ABR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant.
+#define ABR_NO_THREAD_SAFETY_ANALYSIS \
+  ABR_THREAD_ANNOTATION(no_thread_safety_analysis)

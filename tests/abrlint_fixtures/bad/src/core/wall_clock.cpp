@@ -1,0 +1,18 @@
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fx::core {
+
+// line 8: steady_clock in a deterministic layer.
+long long bad_now() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+// line 13: time() call.
+long long bad_epoch() { return ::time(nullptr); }
+
+// line 16: rand() call.
+int bad_random() { return std::rand(); }
+
+}  // namespace fx::core

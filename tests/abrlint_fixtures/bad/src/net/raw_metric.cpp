@@ -1,0 +1,8 @@
+#include <string>
+
+namespace fx::net {
+
+// line 6: raw metric literal instead of a names.hpp constant.
+std::string family() { return "abr_raw_total"; }
+
+}  // namespace fx::net

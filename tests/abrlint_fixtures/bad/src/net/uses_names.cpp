@@ -1,0 +1,7 @@
+#include "obs/names.hpp"
+
+namespace fx::net {
+
+const char* used() { return fx::obs::kUsedTotal; }
+
+}  // namespace fx::net

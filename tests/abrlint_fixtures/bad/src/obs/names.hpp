@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fx::obs {
+
+inline constexpr char kUsedTotal[] = "abr_used_total";
+
+// kGhostTotal is referenced nowhere and documented nowhere: both
+// metric-unused and metric-undocumented must fire on the line below.
+inline constexpr char kGhostTotal[] = "abr_ghost_total";
+
+}  // namespace fx::obs

@@ -1,0 +1,11 @@
+// line 4: missing #pragma once (this comment hides nothing: the first
+// directive below is an include).
+#include "../core/wall_clock.hpp"
+#include <core/algorithms.hpp>
+#include "qoe/missing_header.hpp"
+
+namespace fx::qoe {
+
+int nothing();
+
+}  // namespace fx::qoe

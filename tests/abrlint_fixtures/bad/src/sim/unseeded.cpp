@@ -1,0 +1,16 @@
+#include <random>
+
+#include "util/rng.hpp"
+
+namespace fx::sim {
+
+// line 8: std engine (and default-constructed at that).
+std::mt19937 engine;
+
+// line 11: nondeterministic seed source.
+std::random_device entropy;
+
+// line 14: util::Rng seeded from an inline literal.
+fx::util::Rng magic_seeded(12345);
+
+}  // namespace fx::sim

@@ -1,0 +1,11 @@
+#pragma once
+
+namespace fx::util {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  unsigned long long operator()();
+};
+
+}  // namespace fx::util

@@ -1,0 +1,24 @@
+// A deterministic-layer file that does everything right: no wall clock, a
+// named seed, the metric name via its constant. The identifiers below also
+// pin down the boundary rules: transfer_end_time( and reset_trace_clock(
+// must NOT count as time()/clock() calls.
+#include "obs/names.hpp"
+#include "util/rng.hpp"
+
+namespace fx::core {
+
+double transfer_end_time(double kilobits);
+void reset_trace_clock();
+
+inline constexpr unsigned long long kTraceSeed = 0x5eedULL;
+
+const char* metric_name() { return fx::obs::kGoodTotal; }
+
+double simulate() {
+  fx::util::Rng rng(kTraceSeed);
+  reset_trace_clock();
+  // Comments may mention std::mt19937 or steady_clock freely.
+  return transfer_end_time(static_cast<double>(rng()));
+}
+
+}  // namespace fx::core

@@ -1,0 +1,13 @@
+// net/ is NOT a deterministic layer: real transports may read the real
+// clock. This file must produce no wall-clock violation.
+#include <chrono>
+
+namespace fx::net {
+
+long long now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fx::net

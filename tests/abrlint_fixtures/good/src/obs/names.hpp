@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fx::obs {
+
+inline constexpr char kGoodTotal[] = "abr_good_total";
+
+}  // namespace fx::obs

@@ -1,0 +1,204 @@
+// Tests for the abrlint determinism linter: library-level checks of the
+// comment/string stripper and allowlist parser, plus end-to-end runs of the
+// real binary over known-good and known-bad fixture trees with exact output
+// assertions. CMake injects ABRLINT_PATH, ABRLINT_FIXTURES (the fixture
+// directory) and ABR_REPO_ROOT (the real repository, which must lint clean).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "abrlint.hpp"
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = ::popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string fixtures(const std::string& tail) {
+  return std::string(ABRLINT_FIXTURES) + "/" + tail;
+}
+
+std::string lint(const std::string& args) {
+  return std::string(ABRLINT_PATH) + " " + args;
+}
+
+// ---------------------------------------------------------------------------
+// Library: source stripping.
+
+TEST(AbrlintStrip, RemovesLineAndBlockComments) {
+  const auto stripped = abr::lint::strip_source(
+      "int a;  // std::mt19937 here is just prose\n"
+      "/* steady_clock in a block\n   comment */ int b;\n");
+  EXPECT_EQ(stripped.code.find("mt19937"), std::string::npos);
+  EXPECT_EQ(stripped.code.find("steady_clock"), std::string::npos);
+  EXPECT_NE(stripped.code.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.code.find("int b;"), std::string::npos);
+  // Newlines survive so violation line numbers stay accurate.
+  EXPECT_EQ(std::count(stripped.code.begin(), stripped.code.end(), '\n'), 3);
+}
+
+TEST(AbrlintStrip, CapturesStringLiteralsWithLineNumbers) {
+  const auto stripped =
+      abr::lint::strip_source("const char* a = \"abr_x\";\n"
+                            "const char* b = \"rand()\";\n");
+  ASSERT_EQ(stripped.literals.size(), 2u);
+  EXPECT_EQ(stripped.literals[0].text, "abr_x");
+  EXPECT_EQ(stripped.literals[0].line, 1);
+  EXPECT_EQ(stripped.literals[1].text, "rand()");
+  EXPECT_EQ(stripped.literals[1].line, 2);
+  // Literal contents must not leak into the scanned code stream.
+  EXPECT_EQ(stripped.code.find("rand"), std::string::npos);
+}
+
+TEST(AbrlintStrip, HandlesDigitSeparatorsAndRawStrings) {
+  const auto stripped =
+      abr::lint::strip_source("int big = 1'000'000;\n"
+                            "const char* r = R\"(time( inside raw)\";\n");
+  EXPECT_NE(stripped.code.find("1'000'000"), std::string::npos);
+  EXPECT_EQ(stripped.code.find("time("), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Library: allowlist parsing.
+
+TEST(AbrlintAllowlist, RequiresJustificationComment) {
+  std::vector<abr::lint::Violation> errors;
+  const auto entries = abr::lint::parse_allowlist(
+      "# why this is fine\n"
+      "src/core/a.cpp wall-clock steady_clock\n"
+      "\n"
+      "src/core/b.cpp wall-clock time\n",
+      errors, "list.txt");
+  // The unjustified entry is rejected outright: it is reported as an error
+  // and does not become an active suppression.
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0].justified);
+  EXPECT_EQ(entries[0].file, "src/core/a.cpp");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "allowlist");
+  EXPECT_EQ(errors[0].line, 4);
+}
+
+TEST(AbrlintAllowlist, RejectsMalformedLines) {
+  std::vector<abr::lint::Violation> errors;
+  const auto entries =
+      abr::lint::parse_allowlist("# comment\nonly-two fields\n", errors, "l");
+  EXPECT_TRUE(entries.empty());
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].rule, "allowlist");
+}
+
+// ---------------------------------------------------------------------------
+// Binary: fixture trees.
+
+TEST(AbrlintBinary, GoodTreeIsClean) {
+  const auto result = run_command(lint(fixtures("good")));
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, "abrlint: OK\n");
+}
+
+TEST(AbrlintBinary, BadTreeReportsExactViolations) {
+  const auto result = run_command(lint(fixtures("bad")));
+  EXPECT_EQ(result.exit_code, 1);
+  const std::string expected =
+      "src/core/wall_clock.cpp:9: wall-clock: std::chrono::steady_clock read "
+      "in deterministic layer src/core (runs must be pure functions of "
+      "trace+seed)\n"
+      "src/core/wall_clock.cpp:13: wall-clock: time() call in deterministic "
+      "layer src/core (runs must be pure functions of trace+seed)\n"
+      "src/core/wall_clock.cpp:16: unseeded-rng: rand() call (seed every "
+      "random stream by name)\n"
+      "src/net/raw_metric.cpp:6: metric-literal: raw metric name "
+      "\"abr_raw_total\" (declare it in obs/names.hpp and use the constant)\n"
+      "src/obs/names.hpp:9: metric-undocumented: \"abr_ghost_total\" is "
+      "documented in neither README.md nor DESIGN.md\n"
+      "src/obs/names.hpp:9: metric-unused: kGhostTotal (\"abr_ghost_total\") "
+      "is referenced by no code outside obs/names.*\n"
+      "src/qoe/hygiene.hpp:3: include-pragma: #pragma once must be the "
+      "header's first directive\n"
+      "src/qoe/hygiene.hpp:3: include-relative: relative include "
+      "\"../core/wall_clock.hpp\" (project includes are src-root-relative)\n"
+      "src/qoe/hygiene.hpp:4: include-angle-project: project header "
+      "<core/algorithms.hpp> included with angle brackets (use "
+      "\"core/algorithms.hpp\")\n"
+      "src/qoe/hygiene.hpp:5: include-missing: include "
+      "\"qoe/missing_header.hpp\" resolves neither under src/ nor next to "
+      "this file\n"
+      "src/sim/unseeded.cpp:8: std-rng: std::mt19937 (use util::Rng: fixed "
+      "algorithm, portable streams)\n"
+      "src/sim/unseeded.cpp:11: unseeded-rng: std::random_device use (seed "
+      "every random stream by name)\n"
+      "src/sim/unseeded.cpp:14: rng-literal-seed: Rng seeded from an inline "
+      "numeric literal (name the seed so experiment configs can find and "
+      "vary it)\n"
+      "abrlint: 13 violations\n";
+  EXPECT_EQ(result.output, expected);
+}
+
+TEST(AbrlintBinary, JustifiedAllowlistSuppressesOnlyItsEntry) {
+  const auto result =
+      run_command(lint("--allowlist " + fixtures("allowlists/justified.txt") +
+                       " " + fixtures("bad")));
+  EXPECT_EQ(result.exit_code, 1);
+  // The steady_clock finding is suppressed; the rest of the file's
+  // violations still fire.
+  EXPECT_EQ(result.output.find("steady_clock read"), std::string::npos);
+  EXPECT_NE(result.output.find("wall_clock.cpp:13: wall-clock: time()"),
+            std::string::npos);
+  EXPECT_NE(result.output.find("abrlint: 12 violations"), std::string::npos);
+}
+
+TEST(AbrlintBinary, UnjustifiedAllowlistEntryIsRejected) {
+  const auto result = run_command(
+      lint("--allowlist " + fixtures("allowlists/unjustified.txt") + " " +
+           fixtures("bad")));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find(
+                "unjustified.txt:4: allowlist: entry for "
+                "src/core/wall_clock.cpp lacks a justification comment"),
+            std::string::npos);
+}
+
+TEST(AbrlintBinary, StaleAllowlistEntryIsFlagged) {
+  const auto result = run_command(
+      lint("--allowlist " + fixtures("allowlists/stale.txt") + " " +
+           fixtures("bad")));
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.output.find("stale.txt:3: allowlist: stale entry"),
+            std::string::npos);
+}
+
+TEST(AbrlintBinary, MissingRootExitsTwo) {
+  const auto result = run_command(lint(fixtures("no_such_tree")));
+  EXPECT_EQ(result.exit_code, 2);
+}
+
+// The real repository must lint clean with its checked-in allowlist. This is
+// the same invocation CI runs; a failure here means a determinism or metric
+// naming regression slipped into src/.
+TEST(AbrlintBinary, RealRepositoryIsClean) {
+  const auto result = run_command(lint(ABR_REPO_ROOT));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+  EXPECT_EQ(result.output, "abrlint: OK\n");
+}
+
+}  // namespace

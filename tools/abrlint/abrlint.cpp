@@ -1,0 +1,603 @@
+#include "abrlint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace abr::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("abrlint: cannot read " + path.string());
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::size_t line_of(const std::string& text, std::size_t offset) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + offset, '\n'));
+}
+
+/// Relative path with forward slashes (violation keys must match across
+/// platforms and against the allowlist file).
+std::string rel_string(const fs::path& path, const fs::path& root) {
+  return fs::relative(path, root).generic_string();
+}
+
+}  // namespace
+
+StrippedSource strip_source(const std::string& source) {
+  StrippedSource out;
+  out.code.assign(source.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;        // for kRaw: the ')delim"' terminator
+  StringLiteral current;        // literal being accumulated
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    if (c == '\n') out.code[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+          state = State::kLine;
+          ++i;
+        } else if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+          state = State::kBlock;
+          ++i;
+        } else if (c == '"') {
+          current = StringLiteral{line_of(source, i), i, ""};
+          if (i > 0 && source[i - 1] == 'R') {
+            // Raw string R"delim( ... )delim". The prefix R itself was
+            // already copied through as code; that is fine for every rule.
+            std::string delim;
+            std::size_t j = i + 1;
+            while (j < source.size() && source[j] != '(') {
+              delim += source[j];
+              ++j;
+            }
+            raw_delim = ")" + delim + "\"";
+            i = j;  // now at '(' (blanked)
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'' && (i == 0 || !is_ident_char(source[i - 1]))) {
+          state = State::kChar;
+        } else {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') state = State::kCode;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < source.size() && source[i + 1] == '/') {
+          state = State::kCode;
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < source.size()) {
+          current.text += source.substr(i, 2);
+          if (source[i + 1] == '\n') out.code[i + 1] = '\n';
+          ++i;
+        } else if (c == '"') {
+          out.literals.push_back(current);
+          state = State::kCode;
+        } else {
+          current.text += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < source.size()) {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && source.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.literals.push_back(current);
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          current.text += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Offsets of `name` in `code` with identifier boundaries on both sides.
+/// When `call_only` is set, the next non-space character must be '(' — that
+/// is how `time(nullptr)` is caught without flagging `transfer_end_time(`.
+std::vector<std::size_t> find_identifier(const std::string& code,
+                                         const std::string& name,
+                                         bool call_only = false) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string::npos) {
+    const std::size_t end = pos + name.size();
+    const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+    const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+    bool ok = left_ok && right_ok;
+    if (ok && call_only) {
+      std::size_t j = end;
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\n')) ++j;
+      ok = j < code.size() && code[j] == '(';
+    }
+    if (ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;    ///< relative to the lint root
+  std::string layer;  ///< first directory under src/, empty otherwise
+  std::string raw;
+  StrippedSource stripped;
+};
+
+const std::set<std::string>& deterministic_layers() {
+  static const std::set<std::string> layers = {"core", "sim",   "qoe",
+                                               "predict", "trace", "testing"};
+  return layers;
+}
+
+std::vector<SourceFile> load_sources(const fs::path& root) {
+  std::vector<SourceFile> files;
+  for (const char* top : {"src", "tools"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+        continue;
+      }
+      SourceFile file;
+      file.path = entry.path();
+      file.rel = rel_string(entry.path(), root);
+      if (file.rel.rfind("src/", 0) == 0) {
+        const std::size_t slash = file.rel.find('/', 4);
+        if (slash != std::string::npos) {
+          file.layer = file.rel.substr(4, slash - 4);
+        }
+      }
+      file.raw = read_file(entry.path());
+      file.stripped = strip_source(file.raw);
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return files;
+}
+
+bool in_src(const SourceFile& file) { return file.rel.rfind("src/", 0) == 0; }
+
+// --- determinism rules -----------------------------------------------------
+
+void check_determinism(const SourceFile& file,
+                       std::vector<Violation>& violations) {
+  struct Token {
+    const char* name;
+    bool call_only;
+    const char* rule;       ///< wall-clock or unseeded-rng
+    bool everywhere;        ///< all of src/, not just deterministic layers
+    const char* message;
+  };
+  static const std::array<Token, 13> kTokens = {{
+      {"system_clock", false, "wall-clock", false,
+       "std::chrono::system_clock read"},
+      {"steady_clock", false, "wall-clock", false,
+       "std::chrono::steady_clock read"},
+      {"high_resolution_clock", false, "wall-clock", false,
+       "std::chrono::high_resolution_clock read"},
+      {"gettimeofday", false, "wall-clock", false, "gettimeofday() call"},
+      {"clock_gettime", false, "wall-clock", false, "clock_gettime() call"},
+      {"timespec_get", false, "wall-clock", false, "timespec_get() call"},
+      {"localtime", false, "wall-clock", false, "localtime() call"},
+      {"gmtime", false, "wall-clock", false, "gmtime() call"},
+      {"time", true, "wall-clock", false, "time() call"},
+      {"clock", true, "wall-clock", false, "clock() call"},
+      {"rand", true, "unseeded-rng", true, "rand() call"},
+      {"srand", true, "unseeded-rng", true, "srand() call"},
+      {"random_device", false, "unseeded-rng", true,
+       "std::random_device use"},
+  }};
+  if (!in_src(file)) return;
+  const bool deterministic =
+      deterministic_layers().count(file.layer) != 0;
+  for (const Token& token : kTokens) {
+    if (!token.everywhere && !deterministic) continue;
+    for (const std::size_t pos :
+         find_identifier(file.stripped.code, token.name, token.call_only)) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_of(file.stripped.code, pos);
+      v.rule = token.rule;
+      v.token = token.name;
+      v.message = std::string(token.message) +
+                  (token.everywhere
+                       ? " (seed every random stream by name)"
+                       : " in deterministic layer src/" + file.layer +
+                             " (runs must be pure functions of trace+seed)");
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
+void check_std_rng(const SourceFile& file,
+                   std::vector<Violation>& violations) {
+  static const std::array<const char*, 10> kEngines = {
+      "mt19937",     "mt19937_64",     "minstd_rand",
+      "minstd_rand0", "default_random_engine", "ranlux24",
+      "ranlux48",    "ranlux24_base",  "ranlux48_base",
+      "knuth_b"};
+  if (!in_src(file)) return;
+  for (const char* engine : kEngines) {
+    for (const std::size_t pos :
+         find_identifier(file.stripped.code, engine)) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_of(file.stripped.code, pos);
+      v.rule = "std-rng";
+      v.token = engine;
+      v.message = std::string("std::") + engine +
+                  " (use util::Rng: fixed algorithm, portable streams)";
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
+void check_rng_literal_seed(const SourceFile& file,
+                            std::vector<Violation>& violations) {
+  if (!in_src(file)) return;
+  const std::string& code = file.stripped.code;
+  for (const std::size_t pos : find_identifier(code, "Rng")) {
+    std::size_t j = pos + 3;
+    const auto skip_space = [&] {
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\n')) ++j;
+    };
+    skip_space();
+    if (j < code.size() && is_ident_char(code[j])) {
+      // `Rng name(...)` declaration: skip the variable name.
+      while (j < code.size() && is_ident_char(code[j])) ++j;
+      skip_space();
+    }
+    if (j >= code.size() || (code[j] != '(' && code[j] != '{')) continue;
+    ++j;
+    skip_space();
+    if (j < code.size() &&
+        std::isdigit(static_cast<unsigned char>(code[j])) != 0) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_of(code, pos);
+      v.rule = "rng-literal-seed";
+      v.token = "Rng";
+      v.message =
+          "Rng seeded from an inline numeric literal (name the seed so "
+          "experiment configs can find and vary it)";
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
+// --- metric-name rules -----------------------------------------------------
+
+struct MetricName {
+  std::string constant;  ///< e.g. kSolveLatencyUs
+  std::string name;      ///< e.g. abr_solve_latency_us
+  std::size_t line = 0;  ///< in names.hpp
+};
+
+std::vector<MetricName> parse_names_header(const SourceFile& file) {
+  std::vector<MetricName> names;
+  const std::string& code = file.stripped.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("constexpr char ", pos)) != std::string::npos) {
+    std::size_t j = pos + std::string("constexpr char ").size();
+    std::string constant;
+    while (j < code.size() && is_ident_char(code[j])) constant += code[j++];
+    const StringLiteral* literal = nullptr;
+    for (const StringLiteral& candidate : file.stripped.literals) {
+      if (candidate.offset > j) {
+        literal = &candidate;
+        break;
+      }
+    }
+    if (!constant.empty() && literal != nullptr) {
+      names.push_back({constant, literal->text, line_of(code, pos)});
+    }
+    pos = j;
+  }
+  return names;
+}
+
+void check_metrics(const std::vector<SourceFile>& files, const fs::path& root,
+                   std::vector<Violation>& violations) {
+  const SourceFile* names_header = nullptr;
+  for (const SourceFile& file : files) {
+    if (file.rel == "src/obs/names.hpp") names_header = &file;
+  }
+
+  // Raw "abr_*" literals outside names.hpp.
+  for (const SourceFile& file : files) {
+    if (!in_src(file) || file.rel == "src/obs/names.hpp") continue;
+    for (const StringLiteral& literal : file.stripped.literals) {
+      if (literal.text.rfind("abr_", 0) != 0) continue;
+      Violation v;
+      v.file = file.rel;
+      v.line = literal.line;
+      v.rule = "metric-literal";
+      v.token = literal.text;
+      v.message = "raw metric name \"" + literal.text +
+                  "\" (declare it in obs/names.hpp and use the constant)";
+      violations.push_back(std::move(v));
+    }
+  }
+
+  if (names_header == nullptr) return;
+  const std::vector<MetricName> names = parse_names_header(*names_header);
+
+  std::string docs;
+  for (const char* doc : {"README.md", "DESIGN.md"}) {
+    const fs::path path = root / doc;
+    if (fs::exists(path)) docs += read_file(path);
+  }
+
+  for (const MetricName& metric : names) {
+    bool referenced = false;
+    for (const SourceFile& file : files) {
+      if (!in_src(file) || file.rel == "src/obs/names.hpp" ||
+          file.rel == "src/obs/names.cpp") {
+        continue;
+      }
+      if (!find_identifier(file.stripped.code, metric.constant).empty()) {
+        referenced = true;
+        break;
+      }
+    }
+    if (!referenced) {
+      Violation v;
+      v.file = names_header->rel;
+      v.line = metric.line;
+      v.rule = "metric-unused";
+      v.token = metric.constant;
+      v.message = metric.constant + " (\"" + metric.name +
+                  "\") is referenced by no code outside obs/names.*";
+      violations.push_back(std::move(v));
+    }
+    if (docs.find(metric.name) == std::string::npos) {
+      Violation v;
+      v.file = names_header->rel;
+      v.line = metric.line;
+      v.rule = "metric-undocumented";
+      v.token = metric.name;
+      v.message = "\"" + metric.name +
+                  "\" is documented in neither README.md nor DESIGN.md";
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
+// --- include hygiene -------------------------------------------------------
+
+void check_includes(const SourceFile& file, const fs::path& root,
+                    std::vector<Violation>& violations) {
+  const std::string& code = file.stripped.code;
+
+  if (file.path.extension() == ".hpp" || file.path.extension() == ".h") {
+    std::istringstream lines(code);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(lines, line)) {
+      ++line_number;
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      if (line.compare(first, 12, "#pragma once") != 0) {
+        Violation v;
+        v.file = file.rel;
+        v.line = line_number;
+        v.rule = "include-pragma";
+        v.token = "#pragma once";
+        v.message = "#pragma once must be the header's first directive";
+        violations.push_back(std::move(v));
+      }
+      break;
+    }
+  }
+
+  // Includes are parsed from the raw text: the stripper blanks the quoted
+  // path like any other string literal.
+  std::istringstream lines(file.raw);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    const std::size_t include = line.find("include", hash + 1);
+    if (include == std::string::npos) continue;
+    const std::size_t open = line.find_first_of("\"<", include + 7);
+    if (open == std::string::npos) continue;
+    const char close_char = line[open] == '"' ? '"' : '>';
+    const std::size_t close = line.find(close_char, open + 1);
+    if (close == std::string::npos) continue;
+    const std::string target = line.substr(open + 1, close - open - 1);
+
+    if (line[open] == '<') {
+      if (target.size() > 4 &&
+          target.compare(target.size() - 4, 4, ".hpp") == 0) {
+        Violation v;
+        v.file = file.rel;
+        v.line = line_number;
+        v.rule = "include-angle-project";
+        v.token = target;
+        v.message = "project header <" + target + "> included with angle "
+                    "brackets (use \"" + target + "\")";
+        violations.push_back(std::move(v));
+      }
+      continue;
+    }
+    if (target.rfind("./", 0) == 0 || target.rfind("../", 0) == 0) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_number;
+      v.rule = "include-relative";
+      v.token = target;
+      v.message = "relative include \"" + target +
+                  "\" (project includes are src-root-relative)";
+      violations.push_back(std::move(v));
+      continue;
+    }
+    const bool src_relative = fs::exists(root / "src" / target);
+    const bool sibling = fs::exists(file.path.parent_path() / target);
+    if (!src_relative && !sibling) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_number;
+      v.rule = "include-missing";
+      v.token = target;
+      v.message = "include \"" + target +
+                  "\" resolves neither under src/ nor next to this file";
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<AllowEntry> parse_allowlist(const std::string& text,
+                                        std::vector<Violation>& errors,
+                                        const std::string& allowlist_name) {
+  std::vector<AllowEntry> entries;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_number = 0;
+  bool previous_was_comment = false;
+  while (std::getline(lines, line)) {
+    ++line_number;
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      previous_was_comment = false;
+      continue;
+    }
+    if (line[first] == '#') {
+      previous_was_comment = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    AllowEntry entry;
+    fields >> entry.file >> entry.rule >> entry.token;
+    entry.line = line_number;
+    entry.justified = previous_was_comment;
+    previous_was_comment = false;
+    std::string extra;
+    if (entry.token.empty() || (fields >> extra && !extra.empty())) {
+      Violation v;
+      v.file = allowlist_name;
+      v.line = line_number;
+      v.rule = "allowlist";
+      v.token = line;
+      v.message = "malformed entry (expected: <file> <rule> <token>)";
+      errors.push_back(std::move(v));
+      continue;
+    }
+    if (!entry.justified) {
+      Violation v;
+      v.file = allowlist_name;
+      v.line = line_number;
+      v.rule = "allowlist";
+      v.token = entry.token;
+      v.message = "entry for " + entry.file +
+                  " lacks a justification comment on the preceding line";
+      errors.push_back(std::move(v));
+      continue;
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<Violation> run_lint(const fs::path& root,
+                                const fs::path& allowlist_path) {
+  const std::vector<SourceFile> files = load_sources(root);
+
+  std::vector<Violation> violations;
+  for (const SourceFile& file : files) {
+    check_determinism(file, violations);
+    check_std_rng(file, violations);
+    check_rng_literal_seed(file, violations);
+    check_includes(file, root, violations);
+  }
+  check_metrics(files, root, violations);
+
+  std::vector<Violation> kept;
+  std::vector<AllowEntry> entries;
+  if (!allowlist_path.empty()) {
+    const std::string name = allowlist_path.filename().string();
+    entries = parse_allowlist(read_file(allowlist_path), kept, name);
+    for (Violation& violation : violations) {
+      bool allowed = false;
+      for (AllowEntry& entry : entries) {
+        if (entry.file == violation.file && entry.rule == violation.rule &&
+            entry.token == violation.token) {
+          entry.used = true;
+          allowed = true;
+        }
+      }
+      if (!allowed) kept.push_back(std::move(violation));
+    }
+    for (const AllowEntry& entry : entries) {
+      if (entry.used) continue;
+      Violation v;
+      v.file = name;
+      v.line = entry.line;
+      v.rule = "allowlist";
+      v.token = entry.token;
+      v.message = "stale entry: nothing in " + entry.file + " matches " +
+                  entry.rule + " " + entry.token + " any more";
+      kept.push_back(std::move(v));
+    }
+  } else {
+    kept = std::move(violations);
+  }
+
+  std::sort(kept.begin(), kept.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return kept;
+}
+
+std::string format_violation(const Violation& violation) {
+  return violation.file + ":" + std::to_string(violation.line) + ": " +
+         violation.rule + ": " + violation.message;
+}
+
+}  // namespace abr::lint

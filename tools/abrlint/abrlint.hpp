@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+// abrlint: the project-specific static checks that keep trace-driven runs
+// reproducible and the metric namespace coherent. Generic tooling
+// (clang-tidy, -Wthread-safety) cannot know that src/core must never read a
+// wall clock or that every "abr_*" family name lives in obs/names.hpp; this
+// linter can, and CI runs it over src/ on every push.
+//
+// Rules (rule ids as reported):
+//   wall-clock    Wall-clock and CPU-clock reads (steady_clock, system_clock,
+//                 time(), clock(), gettimeofday, ...) are banned in the
+//                 deterministic layers: src/core, src/sim, src/qoe,
+//                 src/predict, src/trace, src/testing. Simulated sessions are
+//                 functions of (trace, seed); a real clock breaks bit-exact
+//                 replay. Observability-only uses go in the allowlist with a
+//                 written justification.
+//   unseeded-rng  rand()/srand()/std::random_device are banned in all of
+//                 src/: every random stream must flow from a named seed.
+//   std-rng       std::mt19937 and friends are banned in src/ — util::Rng is
+//                 the project RNG (fixed algorithm, portable streams).
+//   rng-literal-seed  util::Rng constructed from an inline numeric literal;
+//                 seeds must be named constants or propagated parameters so
+//                 experiment configs can find and vary them.
+//   metric-literal    A string literal starting with "abr_" outside
+//                 obs/names.hpp; metric families are declared once, in
+//                 names.hpp, and referenced by constant.
+//   metric-unused     A names.hpp constant no code outside obs/names.*
+//                 references.
+//   metric-undocumented  A names.hpp family name absent from README.md and
+//                 DESIGN.md.
+//   include-pragma    Header without #pragma once as its first directive.
+//   include-relative  Quoted include starting with "./" or "../"; project
+//                 includes are src-root-relative.
+//   include-angle-project  Project header included with <...>.
+//   include-missing   Quoted include that resolves neither src-root-relative
+//                 nor next to the including file.
+//   allowlist     Malformed, unjustified, or stale allowlist entry.
+namespace abr::lint {
+
+struct Violation {
+  std::string file;  ///< path relative to the lint root, '/'-separated
+  std::size_t line = 0;
+  std::string rule;
+  std::string token;  ///< what matched; the allowlist key
+  std::string message;
+};
+
+/// One allowlist entry: `<file> <rule> <token>` preceded by at least one
+/// `#` comment line of justification.
+struct AllowEntry {
+  std::string file;
+  std::string rule;
+  std::string token;
+  std::size_t line = 0;  ///< line in the allowlist file
+  bool justified = false;
+  bool used = false;
+};
+
+/// A string literal found in a source file (double-quoted or raw).
+struct StringLiteral {
+  std::size_t line = 0;
+  std::size_t offset = 0;  ///< offset of the opening quote in the source
+  std::string text;
+};
+
+/// Comment/string stripper used by every rule. `code` has the same length
+/// and line structure as the input, with comments and string/char literal
+/// contents blanked to spaces; `literals` holds the double-quoted contents.
+struct StrippedSource {
+  std::string code;
+  std::vector<StringLiteral> literals;
+};
+
+StrippedSource strip_source(const std::string& source);
+
+/// Parses the allowlist format. Lines: blank, `# justification`, or
+/// `<file> <rule> <token>`. Malformed lines are reported via `errors`.
+std::vector<AllowEntry> parse_allowlist(const std::string& text,
+                                        std::vector<Violation>& errors,
+                                        const std::string& allowlist_name);
+
+/// Runs every rule over `root` (expects root/src to exist; README.md,
+/// DESIGN.md, and root/tools are used when present). `allowlist_path` may be
+/// empty. Returns violations sorted by (file, line, rule).
+std::vector<Violation> run_lint(const std::filesystem::path& root,
+                                const std::filesystem::path& allowlist_path);
+
+/// "file:line: rule: message" — the one rendering tests and CI both parse.
+std::string format_violation(const Violation& violation);
+
+}  // namespace abr::lint

@@ -1,0 +1,63 @@
+// abrlint CLI. Usage:
+//
+//   abrlint [--allowlist FILE] [ROOT]
+//
+// ROOT defaults to the current directory and must contain src/. The
+// allowlist defaults to ROOT/tools/abrlint_allowlist.txt when that file
+// exists. Exit codes: 0 clean, 1 violations, 2 usage or I/O error.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "abrlint.hpp"
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::filesystem::path allowlist;
+  bool allowlist_given = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--allowlist") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "abrlint: --allowlist needs a file argument\n";
+        return 2;
+      }
+      allowlist = argv[++i];
+      allowlist_given = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: abrlint [--allowlist FILE] [ROOT]\n";
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "abrlint: unknown option " << argv[i] << "\n";
+      return 2;
+    } else {
+      root = argv[i];
+    }
+  }
+
+  try {
+    if (!std::filesystem::exists(root / "src")) {
+      std::cerr << "abrlint: " << root.string() << " has no src/ directory\n";
+      return 2;
+    }
+    if (!allowlist_given) {
+      const auto candidate = root / "tools" / "abrlint_allowlist.txt";
+      if (std::filesystem::exists(candidate)) allowlist = candidate;
+    }
+    const auto violations = abr::lint::run_lint(root, allowlist);
+    for (const auto& violation : violations) {
+      std::cout << abr::lint::format_violation(violation) << "\n";
+    }
+    if (!violations.empty()) {
+      std::cout << "abrlint: " << violations.size() << " violation"
+                << (violations.size() == 1 ? "" : "s") << "\n";
+      return 1;
+    }
+    std::cout << "abrlint: OK\n";
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+}
