@@ -100,6 +100,9 @@ std::shared_ptr<const FastMpcTable> default_fastmpc_table(
     double buffer_capacity_s) {
   FastMpcConfig config;
   config.buffer_capacity_s = buffer_capacity_s;
+  // Serve online lookups from the decoded flat array; the RLE form still
+  // backs serialization and the Table 1 size accounting.
+  config.flat_lookup = true;
   return std::make_shared<const FastMpcTable>(
       FastMpcTable::build(manifest, qoe, config));
 }

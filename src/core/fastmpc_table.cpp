@@ -92,6 +92,9 @@ FastMpcTable::FastMpcTable(FastMpcConfig config, std::vector<double> ladder,
   if (decisions_.size() != cell_count()) {
     throw std::invalid_argument("FastMpcTable: decision count mismatch");
   }
+  if (config_.flat_lookup) {
+    flat_decisions_ = util::rle_decode(decisions_.runs());
+  }
 }
 
 std::size_t FastMpcTable::cell_count() const {
@@ -110,7 +113,8 @@ std::size_t FastMpcTable::flat_index(std::size_t buffer_bin,
 
 FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
                                  const qoe::QoeModel& qoe,
-                                 FastMpcConfig config) {
+                                 FastMpcConfig config,
+                                 FastMpcBuildStats* stats) {
   if (config.buffer_bins == 0 || config.throughput_bins == 0 ||
       config.horizon == 0) {
     throw std::invalid_argument("FastMpcConfig: zero dimension");
@@ -129,17 +133,23 @@ FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
 
   std::vector<std::uint8_t> decisions(config.buffer_bins * levels *
                                       config.throughput_bins);
+  std::atomic<std::size_t> total_nodes{0};
 
   // One task per throughput bin (the outermost table dimension); workers
-  // solve the full (previous level x buffer bin) plane of that bin. A
-  // throwing solve propagates out of parallel_for instead of terminating.
+  // solve the full (previous level x buffer bin) plane of that bin,
+  // sweeping the buffer dimension in order and seeding each solve with the
+  // neighboring cell's solution (warm_start). A throwing solve propagates
+  // out of parallel_for instead of terminating.
   const auto build_start = std::chrono::steady_clock::now();
   util::parallel_for(
       config.throughput_bins,
       [&](std::size_t c) {
         HorizonSolver solver(generic, qoe);
+        HorizonSolver::Workspace workspace;
         const std::vector<double> forecast(config.horizon,
                                            throughput_binner.center(c));
+        std::vector<std::size_t> neighbor_plan;
+        std::size_t bin_nodes = 0;
         for (std::size_t prev = 0; prev < levels; ++prev) {
           for (std::size_t b = 0; b < config.buffer_bins; ++b) {
             HorizonProblem problem;
@@ -149,19 +159,32 @@ FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
             problem.predicted_kbps = forecast;
             problem.first_chunk = 0;
             problem.buffer_capacity_s = config.buffer_capacity_s;
-            const HorizonSolution solution = solver.solve(problem);
+            if (config.warm_start) problem.warm_hint = neighbor_plan;
+            HorizonSolution solution = solver.solve(problem, workspace);
             decisions[(c * levels + prev) * config.buffer_bins + b] =
                 static_cast<std::uint8_t>(solution.levels.front());
+            bin_nodes += solution.nodes_expanded;
+            if (config.warm_start) {
+              neighbor_plan = std::move(solution.levels);
+            }
           }
         }
+        total_nodes.fetch_add(bin_nodes, std::memory_order_relaxed);
       },
       config.threads);
+  const double build_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    build_start)
+          .count();
   obs::MetricsRegistry::global()
       .histogram(obs::kTableBuildSeconds, "",
                  obs::exponential_buckets(0.001, 2.0, 20))
-      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                             build_start)
-                   .count());
+      .observe(build_seconds);
+  if (stats != nullptr) {
+    stats->total_nodes_expanded = total_nodes.load(std::memory_order_relaxed);
+    stats->solves = decisions.size();
+    stats->wall_seconds = build_seconds;
+  }
 
   return FastMpcTable(config, manifest.bitrates_kbps(),
                       manifest.chunk_duration_s(),
@@ -174,7 +197,9 @@ std::size_t FastMpcTable::lookup(double buffer_s, std::size_t prev_level,
   obs::LatencyTimer timer(lookup_histogram_);
   const std::size_t b = buffer_binner_.bin(buffer_s);
   const std::size_t c = throughput_binner_.bin(throughput_kbps);
-  return decisions_.at(flat_index(b, prev_level, c));
+  const std::size_t index = flat_index(b, prev_level, c);
+  if (!flat_decisions_.empty()) return flat_decisions_[index];
+  return decisions_.at(index);
 }
 
 std::string FastMpcTable::serialize() const {

@@ -34,7 +34,31 @@ struct FastMpcConfig {
   /// Worker threads for the offline enumeration; 0 = hardware concurrency.
   std::size_t threads = 0;
 
+  /// Warm-start the offline enumeration: sweep each throughput bin in
+  /// buffer-bin order and seed every solve with its neighbor cell's
+  /// solution (adjacent cells differ only in initial buffer). Exactness
+  /// preserving — the built table is `==` to a cold build (pinned by test
+  /// and by solver_bench); the switch exists so the bench can measure the
+  /// node-count collapse.
+  bool warm_start = true;
+
+  /// Keep a decoded one-byte-per-cell copy of the table (~50 kB at the
+  /// paper's 100x5x100 defaults) and serve lookups from it by direct
+  /// indexing instead of the RLE binary search. Representation only:
+  /// lookups return identical decisions, serialization stays RLE, and the
+  /// Table 1 size accounting is unaffected.
+  bool flat_lookup = false;
+
   friend bool operator==(const FastMpcConfig&, const FastMpcConfig&) = default;
+};
+
+/// Offline-enumeration effort report for FastMpcTable::build.
+/// total_nodes_expanded and solves are deterministic for a given
+/// (manifest, qoe, config) — wall_seconds is not.
+struct FastMpcBuildStats {
+  std::size_t total_nodes_expanded = 0;  ///< summed over all cell solves
+  std::size_t solves = 0;                ///< == cell count
+  double wall_seconds = 0.0;
 };
 
 /// The FastMPC decision table (Fig. 5 of the paper): for every
@@ -45,12 +69,16 @@ class FastMpcTable {
  public:
   /// Enumerates the scenario space and solves each instance exactly.
   /// Sizes are taken as CBR at the ladder's nominal bitrates (the table is
-  /// chunk-agnostic; the paper's test video is CBR).
+  /// chunk-agnostic; the paper's test video is CBR). When `stats` is
+  /// non-null it receives the enumeration effort (node counts, wall time).
   static FastMpcTable build(const media::VideoManifest& manifest,
-                            const qoe::QoeModel& qoe, FastMpcConfig config);
+                            const qoe::QoeModel& qoe, FastMpcConfig config,
+                            FastMpcBuildStats* stats = nullptr);
 
   /// Optimal ladder index for the scenario closest to the query (clamped
-  /// binning, Section 5.1).
+  /// binning, Section 5.1). Served from the decoded flat array when
+  /// config().flat_lookup is set, from the RLE binary search otherwise;
+  /// both return identical decisions.
   std::size_t lookup(double buffer_s, std::size_t prev_level,
                      double throughput_kbps) const;
 
@@ -99,6 +127,9 @@ class FastMpcTable {
   util::LinearBinner buffer_binner_;
   util::LogBinner throughput_binner_;
   util::RleSequence decisions_;
+  /// Decoded copy of decisions_ for O(1) lookups; empty unless
+  /// config_.flat_lookup. Never serialized (the on-disk format stays RLE).
+  std::vector<std::uint8_t> flat_decisions_;
   /// Online lookup latency, labeled algorithm="FastMPC" — the FastMPC half
   /// of the Table 1 overhead comparison against the MPC solve histogram.
   obs::Histogram* lookup_histogram_;

@@ -2,45 +2,74 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
-#include "obs/metrics.hpp"
 #include "obs/names.hpp"
 
 namespace abr::core {
 
-namespace {
-
-/// Non-dominated (buffer, value) pairs seen at one (depth, level) node.
-struct DominanceSet {
-  std::vector<std::pair<double, double>> entries;  // (buffer_s, value)
-
-  /// Returns false if (buffer, value) is dominated by an existing entry;
-  /// otherwise inserts it (dropping entries it dominates) and returns true.
-  bool insert(double buffer, double value) {
-    for (const auto& [b, v] : entries) {
-      if (b >= buffer && v >= value) return false;
-    }
-    std::erase_if(entries, [&](const auto& e) {
-      return buffer >= e.first && value >= e.second;
-    });
-    entries.emplace_back(buffer, value);
-    return true;
+bool HorizonSolver::Workspace::Frontier::insert(double buffer, double value) {
+  // entries is sorted by buffer strictly descending; because it holds only
+  // non-dominated points, value is strictly ascending. The first index whose
+  // buffer is < `buffer` splits the set into potential dominators (before)
+  // and potential dominatees (after).
+  const auto split = std::partition_point(
+      entries.begin(), entries.end(),
+      [buffer](const Entry& e) { return e.buffer_s >= buffer; });
+  // Among entries with buffer >= `buffer`, the last one has the largest
+  // value, so one comparison decides dominance.
+  if (split != entries.begin() && std::prev(split)->value >= value) {
+    return false;
   }
-};
-
-}  // namespace
+  // Entries after the split have smaller buffers; those with value <= the
+  // incoming one are dominated and form a contiguous run (values ascend).
+  auto last = split;
+  while (last != entries.end() && last->value <= value) ++last;
+  if (split == last) {
+    entries.insert(split, Entry{buffer, value});
+  } else {
+    *split = Entry{buffer, value};
+    entries.erase(std::next(split), last);
+  }
+  return true;
+}
 
 HorizonSolver::HorizonSolver(const media::VideoManifest& manifest,
                              const qoe::QoeModel& qoe)
-    : manifest_(&manifest), qoe_(&qoe) {}
+    : manifest_(&manifest),
+      qoe_(&qoe),
+      nodes_histogram_(&obs::MetricsRegistry::global().histogram(
+          obs::kHorizonNodesExpanded, "",
+          obs::exponential_buckets(1.0, 2.0, 20))) {
+  const std::size_t levels = manifest.level_count();
+  const double lambda = qoe.weights().lambda;
+  level_quality_.resize(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    level_quality_[level] = qoe.quality(manifest.bitrate_kbps(level));
+  }
+  // q is non-decreasing in the ladder; the top level is the max.
+  max_quality_ = level_quality_.back();
+  switch_cost_.resize(levels * levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    for (std::size_t prev = 0; prev < levels; ++prev) {
+      switch_cost_[level * levels + prev] =
+          lambda * std::abs(level_quality_[level] - level_quality_[prev]);
+    }
+  }
+}
 
 HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
+  Workspace workspace;
+  return solve(problem, workspace);
+}
+
+HorizonSolution HorizonSolver::solve(const HorizonProblem& problem,
+                                     Workspace& ws) const {
   const media::VideoManifest& manifest = *manifest_;
-  const qoe::QoeModel& qoe = *qoe_;
-  const qoe::QoeWeights& w = qoe.weights();
-  const std::size_t level_count = manifest.level_count();
+  const qoe::QoeWeights& w = qoe_->weights();
+  const std::size_t levels = manifest.level_count();
   const double chunk_duration = manifest.chunk_duration_s();
 
   if (problem.first_chunk >= manifest.chunk_count()) {
@@ -58,19 +87,72 @@ HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
     }
   }
 
-  // Precompute per-level qualities (q is non-decreasing; top level is max).
-  std::vector<double> level_quality(level_count);
-  for (std::size_t level = 0; level < level_count; ++level) {
-    level_quality[level] = qoe.quality(manifest.bitrate_kbps(level));
+  // --- Workspace preparation (no allocation once at high-water capacity) --
+  ws.download_s_.resize(horizon * levels);
+  for (std::size_t depth = 0; depth < horizon; ++depth) {
+    const std::size_t chunk = problem.first_chunk + depth;
+    const double forecast = problem.predicted_kbps[depth];
+    for (std::size_t level = 0; level < levels; ++level) {
+      ws.download_s_[depth * levels + level] =
+          manifest.chunk_kilobits(chunk, level) / forecast;
+    }
   }
-  const double max_quality = level_quality.back();
+  ws.optimistic_rest_.resize(horizon);
+  for (std::size_t depth = 0; depth < horizon; ++depth) {
+    ws.optimistic_rest_[depth] =
+        static_cast<double>(horizon - depth - 1) * max_quality_;
+  }
+  if (ws.frontier_.size() < horizon * levels) {
+    ws.frontier_.resize(horizon * levels);
+  }
+  for (std::size_t i = 0; i < horizon * levels; ++i) {
+    ws.frontier_[i].entries.clear();
+  }
+  ws.current_levels_.resize(horizon);
+  ws.best_levels_.clear();
 
-  nodes_expanded_ = 0;
+  std::size_t nodes_expanded = 0;
   double best_value = -std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> best_levels;
-  std::vector<std::size_t> current_levels(horizon);
-  std::vector<std::vector<DominanceSet>> frontier(
-      horizon, std::vector<DominanceSet>(level_count));
+  // While false, the incumbent is only a bound (the warm-start hint): the
+  // search prunes strictly-worse branches only and accepts ties, so the
+  // first search-reached optimum — identical to the cold solve's — always
+  // replaces the hint. This keeps warm-started results bit-identical.
+  bool search_found = false;
+
+  // --- Warm start: evaluate the hint with the exact step recurrence ------
+  if (!problem.warm_hint.empty()) {
+    ws.hint_levels_.resize(horizon);
+    for (std::size_t depth = 0; depth < horizon; ++depth) {
+      const std::size_t level = depth < problem.warm_hint.size()
+                                    ? problem.warm_hint[depth]
+                                    : ws.hint_levels_[depth - 1];
+      if (level >= levels) {
+        throw std::invalid_argument("HorizonProblem: warm_hint level range");
+      }
+      ws.hint_levels_[depth] = level;
+    }
+    double value = 0.0;
+    double buffer = problem.buffer_s;
+    std::size_t prev_level = problem.prev_level;
+    bool has_prev = problem.has_prev;
+    for (std::size_t depth = 0; depth < horizon; ++depth) {
+      const std::size_t level = ws.hint_levels_[depth];
+      const double download_s = ws.download_s_[depth * levels + level];
+      const double rebuffer = std::max(0.0, download_s - buffer);
+      buffer = std::min(std::max(buffer - download_s, 0.0) + chunk_duration,
+                        problem.buffer_capacity_s);
+      double step_value = level_quality_[level] - w.mu * rebuffer -
+                          (rebuffer > 0.0 ? w.mu_event : 0.0);
+      if (has_prev) {
+        step_value -= switch_cost_[level * levels + prev_level];
+      }
+      value = value + step_value;
+      prev_level = level;
+      has_prev = true;
+    }
+    best_value = value;
+    ws.best_levels_.assign(ws.hint_levels_.begin(), ws.hint_levels_.end());
+  }
 
   // Depth-first search; levels tried from highest quality down so the first
   // incumbent is strong and the admissible bound prunes aggressively.
@@ -78,45 +160,52 @@ HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
                     std::size_t prev_level, bool has_prev,
                     double value) -> void {
     if (depth == horizon) {
-      if (value > best_value) {
+      if (value > best_value || (!search_found && value == best_value)) {
         best_value = value;
-        best_levels = current_levels;
+        ws.best_levels_.assign(ws.current_levels_.begin(),
+                               ws.current_levels_.begin() +
+                                   static_cast<std::ptrdiff_t>(horizon));
+        search_found = true;
       }
       return;
     }
-    const std::size_t chunk = problem.first_chunk + depth;
-    const double forecast = problem.predicted_kbps[depth];
-    const double optimistic_rest =
-        static_cast<double>(horizon - depth - 1) * max_quality;
+    const double* downloads = &ws.download_s_[depth * levels];
+    const double optimistic_rest = ws.optimistic_rest_[depth];
 
-    for (std::size_t i = 0; i < level_count; ++i) {
-      const std::size_t level = level_count - 1 - i;
-      ++nodes_expanded_;
+    for (std::size_t i = 0; i < levels; ++i) {
+      const std::size_t level = levels - 1 - i;
+      ++nodes_expanded;
 
-      const double download_s =
-          manifest.chunk_kilobits(chunk, level) / forecast;
+      const double download_s = downloads[level];
       const double rebuffer = std::max(0.0, download_s - buffer);
       const double next_buffer = std::min(
           std::max(buffer - download_s, 0.0) + chunk_duration,
           problem.buffer_capacity_s);
 
-      double step_value = level_quality[level] - w.mu * rebuffer -
+      double step_value = level_quality_[level] - w.mu * rebuffer -
                           (rebuffer > 0.0 ? w.mu_event : 0.0);
       if (has_prev) {
-        step_value -=
-            w.lambda * std::abs(level_quality[level] - level_quality[prev_level]);
+        step_value -= switch_cost_[level * levels + prev_level];
       }
       const double next_value = value + step_value;
 
-      // Admissible bound: even with maximal quality and no penalties for the
-      // remaining chunks this branch cannot beat the incumbent.
-      if (next_value + optimistic_rest <= best_value) continue;
+      // Admissible bound: even with maximal quality and no penalties for
+      // the remaining chunks this branch cannot beat the incumbent. While
+      // the incumbent is the provisional hint, branches that could *tie* it
+      // survive so tie-breaking matches the cold solve exactly.
+      const double optimistic = next_value + optimistic_rest;
+      if (search_found ? optimistic <= best_value : optimistic < best_value) {
+        continue;
+      }
 
       // Dominance: a previously expanded branch reached this (depth, level)
       // with at least as much buffer and value.
-      if (!frontier[depth][level].insert(next_buffer, next_value)) continue;
+      if (!ws.frontier_[depth * levels + level].insert(next_buffer,
+                                                       next_value)) {
+        continue;
+      }
 
-      current_levels[depth] = level;
+      ws.current_levels_[depth] = level;
       self(self, depth + 1, next_buffer, level, true, next_value);
     }
   };
@@ -124,18 +213,15 @@ HorizonSolution HorizonSolver::solve(const HorizonProblem& problem) const {
   search(search, 0, problem.buffer_s, problem.prev_level, problem.has_prev,
          0.0);
 
-  assert(!best_levels.empty());
+  assert(!ws.best_levels_.empty());
 
   // Search-effort distribution (how well the prunings work per instance).
-  static obs::Histogram& nodes_histogram =
-      obs::MetricsRegistry::global().histogram(
-          obs::kHorizonNodesExpanded, "",
-          obs::exponential_buckets(1.0, 2.0, 20));
-  nodes_histogram.observe(static_cast<double>(nodes_expanded_));
+  nodes_histogram_->observe(static_cast<double>(nodes_expanded));
 
   HorizonSolution solution;
-  solution.levels = std::move(best_levels);
+  solution.levels.assign(ws.best_levels_.begin(), ws.best_levels_.end());
   solution.objective = best_value;
+  solution.nodes_expanded = nodes_expanded;
   return solution;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "media/manifest.hpp"
+#include "obs/metrics.hpp"
 #include "qoe/qoe.hpp"
 
 namespace abr::core {
@@ -32,18 +33,33 @@ struct HorizonProblem {
 
   /// Playout buffer capacity Bmax, seconds.
   double buffer_capacity_s = 30.0;
+
+  /// Optional warm-start hint: a level sequence used to seed the
+  /// branch-and-bound incumbent before the search starts. Seeding can only
+  /// tighten pruning, never change the result: solve() returns a solution
+  /// bit-identical (levels and objective) to the cold solve for any hint
+  /// (see HorizonSolver). Shorter hints are padded with their last entry,
+  /// longer hints truncated; entries must be < the manifest's level count.
+  /// Natural hints: the previous chunk's solution shifted by one (online
+  /// MPC), or the neighboring scenario's solution (FastMPC table sweep).
+  std::span<const std::size_t> warm_hint;
 };
 
-/// Optimal levels for the horizon (levels[0] is the decision to apply) and
-/// the objective value achieved.
+/// Optimal levels for the horizon (levels[0] is the decision to apply), the
+/// objective value achieved, and the search effort spent finding it.
 struct HorizonSolution {
   std::vector<std::size_t> levels;
   double objective = 0.0;
+
+  /// Number of branch-and-bound nodes expanded by this solve. Lives here —
+  /// not on the solver — so that a solver shared across threads stays
+  /// data-race free (each solve reports its own effort).
+  std::size_t nodes_expanded = 0;
 };
 
 /// Exact solver for HorizonProblem.
 ///
-/// Depth-first enumeration over the |R|^N sequence space with two exact
+/// Depth-first branch-and-bound over the |R|^N sequence space with two exact
 /// prunings that leave the result optimal:
 ///  - admissible bound: current value + (remaining chunks) * max quality
 ///    cannot beat the incumbent;
@@ -53,23 +69,85 @@ struct HorizonSolution {
 /// For the paper's configuration (5 levels, N = 5) the raw space is 3125
 /// sequences; with pruning the solver comfortably handles the Fig. 12b
 /// sweeps (N up to 9) and ladders of 10+ levels.
+///
+/// Warm starting (HorizonProblem::warm_hint) seeds the incumbent with a
+/// known level sequence. The incumbent is held *provisional* until the
+/// search itself reaches a sequence at least as good: while provisional,
+/// the bound prunes only strictly worse branches and a search solution that
+/// ties the hint replaces it. This makes the returned solution — including
+/// tie-breaking among equal optima — bit-identical to a cold solve, while
+/// the hint's value still prunes from the very first node. The invariant is
+/// pinned by tests (random hints vs. exhaustive reference) and by the
+/// warm-vs-cold FastMPC table equality check.
+///
+/// solve() is const and thread-safe: all per-solve scratch lives in a
+/// Workspace. Reusing one Workspace per thread across solves makes the hot
+/// path allocation-free in steady state (buffers keep their high-water
+/// capacity).
 class HorizonSolver {
  public:
+  /// Reusable per-solve scratch: flat per-(depth, level) arrays of
+  /// precomputed download times, the dominance frontier, and the level
+  /// stacks. A Workspace may be reused freely across solvers and problems;
+  /// it must not be shared between concurrent solves.
+  class Workspace {
+   public:
+    Workspace() = default;
+
+   private:
+    friend class HorizonSolver;
+
+    /// One non-dominated (buffer, value) point of a dominance set.
+    struct Entry {
+      double buffer_s = 0.0;
+      double value = 0.0;
+    };
+
+    /// Pareto frontier at one (depth, level) node, kept sorted by buffer
+    /// descending (hence value ascending), so the dominance test is a
+    /// binary search + one comparison instead of a linear scan.
+    struct Frontier {
+      std::vector<Entry> entries;
+
+      /// Returns false if (buffer, value) is dominated by an existing
+      /// entry; otherwise inserts it (dropping entries it dominates) and
+      /// returns true. Keeps exactly the non-dominated set, so accept /
+      /// reject decisions are identical to the unsorted formulation.
+      bool insert(double buffer, double value);
+    };
+
+    std::vector<Frontier> frontier_;       ///< [depth * levels + level]
+    std::vector<double> download_s_;       ///< [depth * levels + level]
+    std::vector<double> optimistic_rest_;  ///< [depth]
+    std::vector<std::size_t> best_levels_;
+    std::vector<std::size_t> current_levels_;
+    std::vector<std::size_t> hint_levels_;
+  };
+
   /// The model and manifest must outlive the solver.
   HorizonSolver(const media::VideoManifest& manifest, const qoe::QoeModel& qoe);
 
+  /// Solves with a solver-private temporary Workspace (allocates).
   HorizonSolution solve(const HorizonProblem& problem) const;
 
-  /// Number of search nodes expanded by the last solve (observability for
-  /// the overhead microbenches).
-  std::size_t last_nodes_expanded() const { return nodes_expanded_; }
+  /// Allocation-free in steady state: reuses `workspace` for all scratch.
+  HorizonSolution solve(const HorizonProblem& problem,
+                        Workspace& workspace) const;
 
  private:
-  struct Frontier;  // per-(depth, level) dominance sets
-
   const media::VideoManifest* manifest_;
   const qoe::QoeModel* qoe_;
-  mutable std::size_t nodes_expanded_ = 0;
+
+  /// Per-level q(R) and the lambda-weighted |q_i - q_j| switching costs,
+  /// both pure functions of (manifest, qoe) — computed once here instead of
+  /// per solve.
+  std::vector<double> level_quality_;
+  std::vector<double> switch_cost_;  ///< [level * levels + prev_level]
+  double max_quality_ = 0.0;
+
+  /// Search-effort distribution histogram, resolved at construction so the
+  /// hot loop never runs a magic-static guard.
+  obs::Histogram* nodes_histogram_;
 };
 
 }  // namespace abr::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <span>
 #include <vector>
 
 #include "obs/names.hpp"
@@ -25,6 +26,7 @@ void MpcController::reset() {
   pending_prediction_.reset();
   history_seen_ = 0;
   last_effective_kbps_ = 0.0;
+  previous_plan_.clear();
 }
 
 std::string MpcController::name() const {
@@ -47,31 +49,39 @@ std::size_t MpcController::decide(const sim::AbrState& state,
   if (state.prediction_kbps.empty() || state.prediction_kbps.front() <= 0.0) {
     pending_prediction_.reset();
     last_effective_kbps_ = 0.0;
+    previous_plan_.clear();
     return 0;
   }
 
   const std::size_t horizon =
       std::min(config_.horizon, state.prediction_kbps.size());
-  std::vector<double> forecast(state.prediction_kbps.begin(),
-                               state.prediction_kbps.begin() +
-                                   static_cast<std::ptrdiff_t>(horizon));
+  forecast_.assign(state.prediction_kbps.begin(),
+                   state.prediction_kbps.begin() +
+                       static_cast<std::ptrdiff_t>(horizon));
   if (config_.robust) {
-    for (double& c : forecast) c = error_tracker_.lower_bound(c);
+    for (double& c : forecast_) c = error_tracker_.lower_bound(c);
   }
-  last_effective_kbps_ = forecast.front();
+  last_effective_kbps_ = forecast_.front();
 
   HorizonProblem problem;
   problem.buffer_s = state.buffer_s;
   problem.prev_level = state.prev_level;
   problem.has_prev = state.has_prev;
-  problem.predicted_kbps = forecast;
+  problem.predicted_kbps = forecast_;
   problem.first_chunk = state.chunk_index;
   problem.buffer_capacity_s = config_.buffer_capacity_s;
+  // Warm start with the tail of the previous chunk's plan: its first level
+  // was applied, so levels [1..] are a strong incumbent for this horizon.
+  // Exactness preserving — an empty or stale hint cannot change the result.
+  if (!previous_plan_.empty()) {
+    problem.warm_hint = std::span<const std::size_t>(previous_plan_)
+                            .subspan(1);
+  }
 
   HorizonSolution solution;
   {
     obs::LatencyTimer timer(solve_histogram_);
-    solution = solver_.solve(problem);
+    solution = solver_.solve(problem, workspace_);
   }
   (void)manifest;
 
@@ -79,7 +89,9 @@ std::size_t MpcController::decide(const sim::AbrState& state,
   // the error tracker compares like with like (Section 7.1.2 defines err on
   // the predictor's output, not the deflated bound).
   pending_prediction_ = state.prediction_kbps.front();
-  return solution.levels.front();
+  const std::size_t decision = solution.levels.front();
+  previous_plan_ = std::move(solution.levels);
+  return decision;
 }
 
 }  // namespace abr::core

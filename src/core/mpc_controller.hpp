@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/horizon_solver.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +38,13 @@ struct MpcConfig {
 /// recently observed worst-case prediction error before solving. Theorem 1
 /// proves this equals optimizing worst-case QoE over the forecast interval,
 /// and test MpcTheorem1 verifies it against an explicit max-min evaluation.
+///
+/// Each solve is warm-started with the previous chunk's solution shifted by
+/// one (the tail of the old plan is a strong incumbent for the new horizon)
+/// and reuses a solver workspace, so the per-decision hot path neither
+/// allocates nor searches from scratch. Warm starting is exactness
+/// preserving — decisions are bit-identical to cold solves (see
+/// HorizonSolver) — which the golden decision logs pin.
 class MpcController final : public sim::BitrateController {
  public:
   /// The model and manifest must outlive the controller.
@@ -65,6 +73,11 @@ class MpcController final : public sim::BitrateController {
   std::optional<double> pending_prediction_;  ///< forecast for the in-flight chunk
   std::size_t history_seen_ = 0;
   double last_effective_kbps_ = 0.0;
+  /// Reused solver scratch + the previous solution's level plan (next
+  /// solve's warm-start hint). Both cleared by reset().
+  HorizonSolver::Workspace workspace_;
+  std::vector<std::size_t> previous_plan_;
+  std::vector<double> forecast_;  ///< reused per-decision forecast buffer
 };
 
 }  // namespace abr::core

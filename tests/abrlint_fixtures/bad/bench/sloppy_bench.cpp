@@ -1,0 +1,5 @@
+// A bench harness with a relative project include: bench/ is scanned for
+// include hygiene even though the determinism rules do not apply there.
+#include "../src/core/wall_clock.hpp"
+
+int bench_main() { return 0; }

@@ -1,0 +1,15 @@
+// Wall-clock reads are fine in bench/ (it is outside the deterministic
+// layers); sibling includes resolve next to the file.
+#include "timer.hpp"
+
+#include <chrono>
+
+namespace fx::bench {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fx::bench

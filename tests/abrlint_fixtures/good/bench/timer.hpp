@@ -1,0 +1,7 @@
+#pragma once
+
+namespace fx::bench {
+
+double now_seconds();
+
+}  // namespace fx::bench

@@ -210,5 +210,56 @@ TEST(FastMpcTable, SingleThreadAndMultiThreadBuildsAgree) {
   EXPECT_TRUE(a == b);
 }
 
+/// The warm-start exactness guarantee at table granularity: sweeping with
+/// neighbor-seeded solves produces the same table, cell for cell, as cold
+/// solving every scenario — while expanding far fewer nodes.
+TEST(FastMpcTable, WarmBuildEqualsColdBuild) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  FastMpcConfig cold_config;
+  cold_config.buffer_bins = 25;
+  cold_config.throughput_bins = 25;
+  cold_config.horizon = 4;
+  cold_config.warm_start = false;
+  FastMpcConfig warm_config = cold_config;
+  warm_config.warm_start = true;
+
+  FastMpcBuildStats cold_stats;
+  FastMpcBuildStats warm_stats;
+  const auto cold = FastMpcTable::build(manifest, qoe, cold_config, &cold_stats);
+  const auto warm = FastMpcTable::build(manifest, qoe, warm_config, &warm_stats);
+
+  EXPECT_TRUE(cold == warm);
+  EXPECT_EQ(cold_stats.solves, cold.cell_count());
+  EXPECT_EQ(warm_stats.solves, warm.cell_count());
+  EXPECT_GT(cold_stats.total_nodes_expanded, 0u);
+  EXPECT_LT(warm_stats.total_nodes_expanded, cold_stats.total_nodes_expanded);
+}
+
+/// The flat decoded array is a lookup representation only: every query must
+/// return the same decision as the RLE binary search, and the serialized
+/// form (and so the Table 1 size accounting) must be unchanged.
+TEST(FastMpcTable, FlatLookupMatchesRleLookup) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  FastMpcConfig rle_config = small_config();
+  FastMpcConfig flat_config = small_config();
+  flat_config.flat_lookup = true;
+  const auto rle = FastMpcTable::build(manifest, qoe, rle_config);
+  const auto flat = FastMpcTable::build(manifest, qoe, flat_config);
+
+  EXPECT_TRUE(rle == flat);
+  EXPECT_EQ(rle.serialize(), flat.serialize());
+  util::Rng rng(94);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double buffer = rng.uniform(-2.0, 35.0);
+    const auto prev = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    const double throughput = rng.uniform(20.0, 20000.0);
+    ASSERT_EQ(flat.lookup(buffer, prev, throughput),
+              rle.lookup(buffer, prev, throughput))
+        << "buffer " << buffer << " prev " << prev << " tput " << throughput;
+  }
+}
+
 }  // namespace
 }  // namespace abr::core

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/horizon_solver.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+struct Reference {
+  std::vector<std::size_t> levels;
+  double objective = 0.0;
+};
+
+/// Exhaustive enumeration with the solver's exact step arithmetic and its
+/// exact tie-break: levels are tried from highest quality down and an
+/// incumbent is replaced only by a strictly better sequence, so the first
+/// optimum in that order wins — the same sequence branch-and-bound returns.
+/// Every arithmetic expression below mirrors HorizonSolver::solve term for
+/// term so the comparison can demand bit-identical doubles, not tolerances.
+Reference exhaustive_reference(const media::VideoManifest& manifest,
+                               const qoe::QoeModel& qoe,
+                               const HorizonProblem& problem) {
+  const qoe::QoeWeights& w = qoe.weights();
+  const std::size_t levels = manifest.level_count();
+  const std::size_t horizon =
+      std::min(problem.predicted_kbps.size(),
+               manifest.chunk_count() - problem.first_chunk);
+
+  Reference best;
+  best.objective = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> current(horizon);
+
+  auto recurse = [&](auto&& self, std::size_t depth, double buffer,
+                     std::size_t prev, bool has_prev, double value) -> void {
+    if (depth == horizon) {
+      if (value > best.objective) {
+        best.objective = value;
+        best.levels = current;
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < levels; ++i) {
+      const std::size_t level = levels - 1 - i;
+      const double download_s =
+          manifest.chunk_kilobits(problem.first_chunk + depth, level) /
+          problem.predicted_kbps[depth];
+      const double rebuffer = std::max(0.0, download_s - buffer);
+      const double next_buffer =
+          std::min(std::max(buffer - download_s, 0.0) +
+                       manifest.chunk_duration_s(),
+                   problem.buffer_capacity_s);
+      double step_value =
+          qoe.quality(manifest.bitrate_kbps(level)) - w.mu * rebuffer -
+          (rebuffer > 0.0 ? w.mu_event : 0.0);
+      if (has_prev) {
+        step_value -= w.lambda *
+                      std::abs(qoe.quality(manifest.bitrate_kbps(level)) -
+                               qoe.quality(manifest.bitrate_kbps(prev)));
+      }
+      current[depth] = level;
+      self(self, depth + 1, next_buffer, level, true, value + step_value);
+    }
+  };
+  recurse(recurse, 0, problem.buffer_s, problem.prev_level, problem.has_prev,
+          0.0);
+  return best;
+}
+
+media::VideoManifest random_manifest(util::Rng& rng) {
+  const std::size_t levels = static_cast<std::size_t>(rng.uniform_int(2, 6));
+  const auto ladder = media::VideoManifest::geometric_ladder(
+      rng.uniform(200.0, 500.0), rng.uniform(1500.0, 4000.0), levels);
+  if (rng.uniform() < 0.5) {
+    return media::VideoManifest::cbr(12, 4.0, ladder);
+  }
+  util::Rng vbr_rng = rng.split();
+  return media::VideoManifest::vbr(12, 4.0, ladder, 0.3, vbr_rng);
+}
+
+HorizonProblem random_problem(util::Rng& rng, std::size_t levels,
+                              const std::vector<double>& forecast) {
+  HorizonProblem problem;
+  problem.buffer_s = rng.uniform(0.0, 30.0);
+  problem.prev_level = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(levels) - 1));
+  problem.has_prev = rng.uniform() < 0.9;
+  problem.predicted_kbps = forecast;
+  problem.first_chunk = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  return problem;
+}
+
+/// The core exactness property of the PR: for ANY warm-start hint — empty,
+/// optimal, garbage, or truncated — the workspace solver returns levels and
+/// objective bit-identical to the exhaustive reference (and hence to the
+/// cold solve). This is what lets warm starting sit on the golden-log path.
+TEST(SolverWarmStart, AnyHintIsBitIdenticalToExhaustiveReference) {
+  util::Rng rng(91);
+  const auto qoe = testing::balanced_qoe();
+  HorizonSolver::Workspace workspace;
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto manifest = random_manifest(rng);
+    const std::size_t levels = manifest.level_count();
+    HorizonSolver solver(manifest, qoe);
+
+    const std::size_t horizon =
+        static_cast<std::size_t>(rng.uniform_int(1, 5));
+    std::vector<double> forecast(horizon);
+    for (double& c : forecast) c = rng.uniform(100.0, 5000.0);
+    const HorizonProblem base = random_problem(rng, levels, forecast);
+
+    const Reference reference = exhaustive_reference(manifest, qoe, base);
+    const HorizonSolution cold = solver.solve(base, workspace);
+    ASSERT_EQ(cold.levels, reference.levels) << "trial " << trial;
+    ASSERT_EQ(cold.objective, reference.objective) << "trial " << trial;
+
+    // Hint variants: the cold optimum, its shifted tail (the online MPC
+    // hint), pure noise, and a truncated prefix (padded by the solver).
+    std::vector<std::vector<std::size_t>> hints;
+    hints.push_back(cold.levels);
+    if (cold.levels.size() > 1) {
+      hints.emplace_back(cold.levels.begin() + 1, cold.levels.end());
+    }
+    std::vector<std::size_t> noise(horizon);
+    for (std::size_t& level : noise) {
+      level = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(levels) - 1));
+    }
+    hints.push_back(noise);
+    hints.emplace_back(1, noise.front());
+
+    for (std::size_t h = 0; h < hints.size(); ++h) {
+      HorizonProblem warm = base;
+      warm.warm_hint = hints[h];
+      const HorizonSolution solution = solver.solve(warm, workspace);
+      ASSERT_EQ(solution.levels, reference.levels)
+          << "trial " << trial << " hint " << h;
+      ASSERT_EQ(solution.objective, reference.objective)
+          << "trial " << trial << " hint " << h;
+    }
+  }
+}
+
+TEST(SolverWarmStart, OptimalHintNeverExpandsMoreNodes) {
+  util::Rng rng(92);
+  const auto qoe = testing::balanced_qoe();
+  HorizonSolver::Workspace workspace;
+  std::size_t cold_total = 0;
+  std::size_t warm_total = 0;
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto manifest = random_manifest(rng);
+    HorizonSolver solver(manifest, qoe);
+    std::vector<double> forecast(5);
+    for (double& c : forecast) c = rng.uniform(100.0, 5000.0);
+    const HorizonProblem base =
+        random_problem(rng, manifest.level_count(), forecast);
+
+    const HorizonSolution cold = solver.solve(base, workspace);
+    HorizonProblem warm = base;
+    warm.warm_hint = cold.levels;
+    const HorizonSolution seeded = solver.solve(warm, workspace);
+
+    ASSERT_EQ(seeded.levels, cold.levels) << "trial " << trial;
+    ASSERT_LE(seeded.nodes_expanded, cold.nodes_expanded) << "trial " << trial;
+    cold_total += cold.nodes_expanded;
+    warm_total += seeded.nodes_expanded;
+  }
+  // The hint's value prunes from the first node: across the suite the
+  // savings must be real, not incidental. (On these small random instances
+  // the cold first incumbent is already strong; the big collapse shows up
+  // in the chained table sweep, measured by solver_bench.)
+  EXPECT_LT(warm_total * 4, cold_total * 3);
+}
+
+TEST(SolverWarmStart, WorkspaceReuseMatchesFreshWorkspace) {
+  // One workspace reused across solvers, ladders, and horizon sizes must
+  // behave exactly like a fresh workspace per solve (stale frontier or
+  // stale precomputed arrays would show up as differing solutions).
+  util::Rng rng(93);
+  const auto qoe = testing::balanced_qoe();
+  HorizonSolver::Workspace reused;
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto manifest = random_manifest(rng);
+    HorizonSolver solver(manifest, qoe);
+    const std::size_t horizon =
+        static_cast<std::size_t>(rng.uniform_int(1, 6));
+    std::vector<double> forecast(horizon);
+    for (double& c : forecast) c = rng.uniform(100.0, 5000.0);
+    const HorizonProblem problem =
+        random_problem(rng, manifest.level_count(), forecast);
+
+    HorizonSolver::Workspace fresh;
+    const HorizonSolution a = solver.solve(problem, reused);
+    const HorizonSolution b = solver.solve(problem, fresh);
+    ASSERT_EQ(a.levels, b.levels) << "trial " << trial;
+    ASSERT_EQ(a.objective, b.objective) << "trial " << trial;
+    ASSERT_EQ(a.nodes_expanded, b.nodes_expanded) << "trial " << trial;
+  }
+}
+
+TEST(SolverWarmStart, OutOfRangeHintThrows) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  HorizonSolver solver(manifest, qoe);
+
+  const std::vector<double> forecast(3, 1000.0);
+  HorizonProblem problem;
+  problem.buffer_s = 10.0;
+  problem.predicted_kbps = forecast;
+  const std::vector<std::size_t> bad_hint = {manifest.level_count()};
+  problem.warm_hint = bad_hint;
+  EXPECT_THROW(solver.solve(problem), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abr::core

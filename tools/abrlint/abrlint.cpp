@@ -165,7 +165,10 @@ const std::set<std::string>& deterministic_layers() {
 
 std::vector<SourceFile> load_sources(const fs::path& root) {
   std::vector<SourceFile> files;
-  for (const char* top : {"src", "tools"}) {
+  // bench/ participates in the include-hygiene rules only: it sits outside
+  // src/, so the determinism rules (wall-clock, rng) do not apply — bench
+  // harnesses legitimately measure wall time.
+  for (const char* top : {"bench", "src", "tools"}) {
     const fs::path dir = root / top;
     if (!fs::exists(dir)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(dir)) {
