@@ -11,6 +11,8 @@
 // primitives — so the cost of observability is itself observable.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+
 #include "core/algorithms.hpp"
 #include "core/buffer_based.hpp"
 #include "core/dashjs_rules.hpp"
@@ -19,6 +21,7 @@
 #include "core/mpc_controller.hpp"
 #include "core/rate_based.hpp"
 #include "media/manifest.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
@@ -229,6 +232,55 @@ void BM_Obs_LatencyTimer_Enabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Obs_LatencyTimer_Enabled);
+
+// --- Journal emission cost: serialize one full chunk record (the Eq. 5
+// --- attribution plus predictor/solver/provenance fields) and write the
+// --- line. /dev/null isolates serialization + stream cost from the disk.
+
+obs::ChunkJournalEntry bench_chunk_entry(util::Rng& rng) {
+  obs::ChunkJournalEntry entry;
+  entry.session = "s0";
+  entry.algorithm = "RobustMPC";
+  entry.chunk = static_cast<std::size_t>(rng.uniform_int(0, 64));
+  entry.level = static_cast<std::size_t>(rng.uniform_int(0, 4));
+  entry.t_s = rng.uniform(0.0, 260.0);
+  entry.bitrate_kbps = 1200.0;
+  entry.download_s = rng.uniform(0.5, 6.0);
+  entry.throughput_kbps = rng.uniform(300.0, 4000.0);
+  entry.buffer_before_s = rng.uniform(0.0, 30.0);
+  entry.buffer_after_s = rng.uniform(0.0, 30.0);
+  entry.qoe_utility = 1200.0;
+  entry.qoe_switch_penalty = rng.uniform(0.0, 850.0);
+  entry.qoe_chunk = entry.qoe_utility - entry.qoe_switch_penalty;
+  entry.qoe_cumulative = rng.uniform(0.0, 70000.0);
+  entry.predicted_kbps = rng.uniform(300.0, 4000.0);
+  entry.effective_kbps = entry.predicted_kbps * 0.9;
+  entry.error_window = rng.uniform(0.0, 0.4);
+  entry.nodes_expanded = static_cast<std::size_t>(rng.uniform_int(0, 400));
+  entry.warm_start = true;
+  entry.solver_path = "online";
+  return entry;
+}
+
+void BM_Journal_ChunkRecord(benchmark::State& state) {
+  std::ofstream sink("/dev/null");
+  obs::Journal journal(sink);
+  util::Rng rng(13);
+  for (auto _ : state) {
+    journal.chunk(bench_chunk_entry(rng));
+    benchmark::DoNotOptimize(&journal);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Journal_ChunkRecord);
+
+void BM_Journal_NumberFormatting(benchmark::State& state) {
+  util::Rng rng(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::json_number(rng.uniform(0.0, 70000.0)));
+  }
+}
+BENCHMARK(BM_Journal_NumberFormatting);
 
 /// Table construction cost (the offline step) and memory footprint counters.
 void BM_FastMpcTableBuild_30x30(benchmark::State& state) {

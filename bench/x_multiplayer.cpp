@@ -8,7 +8,9 @@
 // remains efficient but was not designed for fairness (the paper's stated
 // future work).
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "bench_common.hpp"
 #include "sim/multiplayer.hpp"
@@ -54,7 +56,20 @@ void run_case(const char* label, const trace::ThroughputTrace& link,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::BenchOptions options = bench::BenchOptions::parse(argc, argv);
+  // BenchOptions::parse exits(2) on flags it does not know, so peel the
+  // fleet-telemetry flag off argv before handing the rest over.
+  std::string fleet_out;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fleet-out") == 0 && i + 1 < argc) {
+      fleet_out = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  const bench::BenchOptions options = bench::BenchOptions::parse(
+      static_cast<int>(passthrough.size()), passthrough.data());
   bench::Experiment experiment;
   core::AlgorithmOptions algo_options;
   algo_options.fastmpc_table = core::default_fastmpc_table(
@@ -84,6 +99,39 @@ int main(int argc, char** argv) {
                algo_options);
     }
     std::printf("\n");
+  }
+
+  if (!fleet_out.empty()) {
+    // Dedicated fleet-telemetry run: four RobustMPC players competing on the
+    // variable link, with the time-series aggregator attached. Virtual time
+    // only, so the export is byte-identical for a given seed.
+    sim::FleetSeriesConfig fleet_config;
+    fleet_config.chunk_duration_s = experiment.manifest.chunk_duration_s();
+    sim::FleetSeries fleet(fleet_config);
+    std::vector<core::AlgorithmInstance> instances;
+    std::vector<sim::BitrateController*> controllers;
+    std::vector<predict::ThroughputPredictor*> predictors;
+    for (std::size_t i = 0; i < 4; ++i) {
+      instances.push_back(core::make_algorithm(core::Algorithm::kRobustMpc,
+                                               experiment.manifest,
+                                               experiment.qoe, algo_options));
+      controllers.push_back(instances.back().controller.get());
+      predictors.push_back(instances.back().predictor.get());
+    }
+    sim::MultiPlayerConfig config;
+    config.session = experiment.session;
+    config.startup_stagger_s = 2.0;
+    config.fleet = &fleet;
+    sim::simulate_shared_link(variable, experiment.manifest, experiment.qoe,
+                              config, controllers, predictors);
+    try {
+      fleet.save(fleet_out);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    std::printf("wrote fleet series: %s (%zu buckets)\n", fleet_out.c_str(),
+                fleet.bucket_count());
   }
   return 0;
 }

@@ -295,9 +295,13 @@ std::size_t FastMpcController::decide(const sim::AbrState& state,
     throw std::logic_error("FastMpcController: manifest/table ladder mismatch");
   }
   if (state.prediction_kbps.empty() || state.prediction_kbps.front() <= 0.0) {
+    telemetry_ = sim::DecisionTelemetry{};  // cold start is a rule decision
     return 0;  // no throughput information yet: start lowest
   }
   const std::size_t prev = state.has_prev ? state.prev_level : 0;
+  telemetry_ = sim::DecisionTelemetry{};
+  telemetry_.path = "table";
+  telemetry_.effective_forecast_kbps = state.prediction_kbps.front();
   return table_->lookup(state.buffer_s, prev, state.prediction_kbps.front());
 }
 

@@ -146,9 +146,14 @@ class FastMpcController final : public sim::BitrateController {
                      const media::VideoManifest& manifest) override;
   std::size_t prediction_horizon() const override;
   std::string name() const override { return "FastMPC"; }
+  void reset() override { telemetry_ = sim::DecisionTelemetry{}; }
+  const sim::DecisionTelemetry* last_decision() const override {
+    return &telemetry_;
+  }
 
  private:
   std::shared_ptr<const FastMpcTable> table_;
+  sim::DecisionTelemetry telemetry_;  ///< refreshed by each decide()
 };
 
 }  // namespace abr::core

@@ -27,6 +27,7 @@ void MpcController::reset() {
   history_seen_ = 0;
   last_effective_kbps_ = 0.0;
   previous_plan_.clear();
+  telemetry_ = sim::DecisionTelemetry{};
 }
 
 std::string MpcController::name() const {
@@ -50,6 +51,8 @@ std::size_t MpcController::decide(const sim::AbrState& state,
     pending_prediction_.reset();
     last_effective_kbps_ = 0.0;
     previous_plan_.clear();
+    telemetry_ = sim::DecisionTelemetry{};  // cold start is a rule decision
+    telemetry_.error_window = error_tracker_.max_abs_error();
     return 0;
   }
 
@@ -89,6 +92,11 @@ std::size_t MpcController::decide(const sim::AbrState& state,
   // the error tracker compares like with like (Section 7.1.2 defines err on
   // the predictor's output, not the deflated bound).
   pending_prediction_ = state.prediction_kbps.front();
+  telemetry_.nodes_expanded = solution.nodes_expanded;
+  telemetry_.warm_start = !problem.warm_hint.empty();
+  telemetry_.path = "online";
+  telemetry_.effective_forecast_kbps = last_effective_kbps_;
+  telemetry_.error_window = error_tracker_.max_abs_error();
   const std::size_t decision = solution.levels.front();
   previous_plan_ = std::move(solution.levels);
   return decision;

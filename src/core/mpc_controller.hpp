@@ -56,6 +56,9 @@ class MpcController final : public sim::BitrateController {
   std::size_t prediction_horizon() const override { return config_.horizon; }
   void reset() override;
   std::string name() const override;
+  const sim::DecisionTelemetry* last_decision() const override {
+    return &telemetry_;
+  }
 
   /// The effective forecast used for the last decision after any robustness
   /// deflation (observability for tests and logging).
@@ -78,6 +81,7 @@ class MpcController final : public sim::BitrateController {
   HorizonSolver::Workspace workspace_;
   std::vector<std::size_t> previous_plan_;
   std::vector<double> forecast_;  ///< reused per-decision forecast buffer
+  sim::DecisionTelemetry telemetry_;  ///< refreshed by each decide()
 };
 
 }  // namespace abr::core

@@ -7,8 +7,10 @@
 
 #include "media/mpd.hpp"
 #include "net/faults.hpp"
+#include "net/telemetry.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_event.hpp"
 #include "util/strings.hpp"
 
 namespace abr::net {
@@ -228,6 +230,17 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
           obs::kHttpBadRequestsTotal, obs::bad_request_label("not_found"))),
       request_latency_(&obs::MetricsRegistry::global().histogram(
           obs::kHttpRequestLatencyUs, options_.metric_label)),
+      telemetry_metrics_requests_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryRequestsTotal,
+          obs::telemetry_endpoint_label("/metrics"))),
+      telemetry_statusz_requests_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryRequestsTotal,
+          obs::telemetry_endpoint_label("/statusz"))),
+      telemetry_scrape_latency_(&obs::MetricsRegistry::global().histogram(
+          obs::kTelemetryScrapeLatencyUs, "",
+          obs::exponential_buckets(10.0, 2.0, 16))),
+      telemetry_deadline_counter_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryDeadlineExceededTotal)),
       server_([this](TcpStream& stream) { handle_connection(stream); }) {
   server_.set_max_connections(options_.max_connections);
   server_.set_reject_handler(
@@ -236,14 +249,56 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
 
 ChunkServer::~ChunkServer() { stop(); }
 
-void ChunkServer::start(std::uint16_t port) { server_.start(port); }
+void ChunkServer::start(std::uint16_t port) {
+  started_ = std::chrono::steady_clock::now();
+  server_.start(port);
+}
 
-void ChunkServer::stop() { server_.stop(); }
+void ChunkServer::stop() {
+  server_.stop();
+  flush_metrics();
+}
+
+double ChunkServer::uptime_s() const {
+  if (started_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_)
+      .count();
+}
+
+void ChunkServer::flush_metrics() {
+  // Shed connections whose reject handler was force-closed before it could
+  // count itself: the transport's rejected tally is ground truth.
+  const std::size_t rejected = server_.rejected_connections();
+  const std::size_t handled = shed_handled_.exchange(rejected);
+  if (rejected > handled) {
+    shed_counter_->increment(static_cast<double>(rejected - handled));
+  }
+  const auto peak = static_cast<double>(server_.peak_connections());
+  if (peak > peak_connections_gauge_->value()) {
+    peak_connections_gauge_->set(peak);
+  }
+}
 
 std::size_t ChunkServer::drain(double deadline_s) {
   const std::size_t forced = server_.drain(deadline_s);
   if (forced > 0) {
     drain_forced_counter_->increment(static_cast<double>(forced));
+  }
+  flush_metrics();
+  if (options_.trace_writer != nullptr && options_.trace_writer->enabled()) {
+    // Lifecycle instants so a final trace dump reflects the connections that
+    // never finished cleanly (wall clock; net/ is outside the deterministic
+    // layers).
+    const double now_s = uptime_s();
+    if (forced > 0) {
+      options_.trace_writer->instant("drain_forced_close", "server", now_s, 0,
+                                     {{"connections", forced}});
+    }
+    options_.trace_writer->instant(
+        "drain_complete", "server", now_s, 0,
+        {{"shed", server_.rejected_connections()},
+         {"requests_served", requests_served_.load()}});
   }
   return forced;
 }
@@ -273,6 +328,25 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
     }
     return response;
   }
+  if (is_telemetry_target(request.target)) {
+    // Live telemetry plane: the registry scrape and the status snapshot.
+    // Bodies are sent unshaped under the telemetry deadline (see
+    // handle_connection) so a scrape can never worsen overload.
+    if (request.target == "/metrics") {
+      telemetry_metrics_requests_->increment();
+    } else {
+      telemetry_statusz_requests_->increment();
+    }
+    TelemetryStatus status;
+    status.uptime_s = uptime_s();
+    status.draining = server_.draining();
+    status.active_connections = server_.active_connections();
+    status.peak_connections = server_.peak_connections();
+    status.shed_connections = server_.rejected_connections();
+    status.requests_served = requests_served_.load();
+    return telemetry_response(obs::MetricsRegistry::global(), request.target,
+                              status);
+  }
   if (request.target == "/manifest.mpd") {
     response.headers.set("Content-Type", "application/dash+xml");
     response.body = mpd_;
@@ -297,6 +371,7 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
 
 void ChunkServer::reject_connection(TcpStream& stream) {
   shed_counter_->increment();
+  shed_handled_.fetch_add(1);
   try {
     stream.set_no_delay(true);
     stream.set_timeout_ms(2000);
@@ -403,6 +478,25 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       }
       head += "Content-Length: " + std::to_string(response.body.size()) +
               "\r\n\r\n";
+
+      if (is_telemetry_target(request->target)) {
+        // Telemetry goes out unshaped (no shaper_mutex_, so a scrape never
+        // queues behind a shaped segment send) under its own hard deadline:
+        // a scraper that stops reading is disconnected — shed, not queued.
+        const obs::LatencyTimer scrape_timer(telemetry_scrape_latency_);
+        stream.set_timeout_ms(options_.telemetry_deadline_ms);
+        try {
+          connection.stream().write_all(head);
+          connection.stream().write_all(response.body);
+        } catch (const std::exception&) {
+          telemetry_deadline_counter_->increment();
+          break;
+        }
+        stream.set_timeout_ms(options_.idle_timeout_ms);
+        if (draining) break;
+        continue;
+      }
+
       connection.stream().write_all(head);
 
       const std::string_view body = response.body;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -15,6 +16,10 @@
 #include "trace/throughput_trace.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
+
+namespace abr::obs {
+class TraceWriter;
+}
 
 namespace abr::net {
 
@@ -135,6 +140,17 @@ struct ChunkServerOptions {
   /// tell the origins apart. Empty (default) keeps the unlabeled families
   /// the single-origin tests expect.
   std::string metric_label;
+
+  /// Hard per-request deadline for telemetry responses (/metrics and
+  /// /statusz): their bodies are written unshaped under this socket
+  /// timeout, so a slow scraper is disconnected (shed) instead of queuing
+  /// behind — or stalling — the serving path.
+  int telemetry_deadline_ms = 250;
+
+  /// Optional lifecycle trace sink: drain() emits instants for forced
+  /// closes and shed totals so the final trace dump reflects connections
+  /// that never finished cleanly. Must outlive the server.
+  obs::TraceWriter* trace_writer = nullptr;
 };
 
 /// A synthetic DASH origin: serves the MPD and fixed-size segment payloads
@@ -146,6 +162,8 @@ struct ChunkServerOptions {
 ///   GET /manifest.mpd
 ///   GET /video/<representation-id>/seg-<number>.m4s
 ///   GET /healthz            -> 200 "ok" (503 "draining" during drain)
+///   GET /metrics            -> Prometheus text exposition (live scrape)
+///   GET /statusz            -> compact JSON server status
 class ChunkServer {
  public:
   /// The manifest and trace must outlive the server.
@@ -187,6 +205,11 @@ class ChunkServer {
   void handle_connection(TcpStream& stream) ABR_EXCLUDES(shaper_mutex_);
   void reject_connection(TcpStream& stream);
   HttpResponse route(const HttpRequest& request) const;
+  /// Reconciles registry state with transport truth (shed connections whose
+  /// handler never ran, the transport's peak) so drain()/stop() leave the
+  /// final dump complete.
+  void flush_metrics();
+  double uptime_s() const;
 
   const media::VideoManifest* manifest_;
   std::string mpd_;
@@ -197,6 +220,10 @@ class ChunkServer {
   FaultInjector* injector_ = nullptr;
   std::atomic<std::size_t> requests_served_{0};
   std::atomic<std::size_t> live_connections_{0};
+  /// Shed connections already counted into shed_counter_ (reconciled against
+  /// the transport's rejected_connections() by flush_metrics()).
+  std::atomic<std::size_t> shed_handled_{0};
+  std::chrono::steady_clock::time_point started_{};
 
   // Origin-side metrics (global registry; no-ops unless it is enabled).
   obs::Counter* requests_counter_;
@@ -209,6 +236,10 @@ class ChunkServer {
   obs::Counter* bad_request_method_;
   obs::Counter* bad_request_not_found_;
   obs::Histogram* request_latency_;  ///< includes the shaped body send
+  obs::Counter* telemetry_metrics_requests_;
+  obs::Counter* telemetry_statusz_requests_;
+  obs::Histogram* telemetry_scrape_latency_;
+  obs::Counter* telemetry_deadline_counter_;
 
   TcpServer server_;
 };

@@ -54,6 +54,7 @@ sim::FetchOutcome SimulatedOriginSource::fetch(std::size_t chunk,
       // the loop cannot livelock — some origin becomes probeable soon.
       base_.wait(options_.connect_fail_s);
       ++attempt_failures_;
+      ++outcome.faults;
       failures_total.increment();
     } else {
       if (*origin != current_origin_) {
@@ -65,6 +66,7 @@ sim::FetchOutcome SimulatedOriginSource::fetch(std::size_t chunk,
         base_.wait(options_.connect_fail_s);
         pool_.report_failure(*origin);
         ++attempt_failures_;
+        ++outcome.faults;
         failures_total.increment();
       } else {
         const sim::FetchOutcome inner = base_.fetch(chunk, level);

@@ -1,0 +1,162 @@
+#include "net/telemetry.hpp"
+
+#include <sstream>
+
+#include "obs/journal.hpp"
+#include "obs/names.hpp"
+#include "obs/span.hpp"
+
+namespace abr::net {
+
+std::string statusz_json(const TelemetryStatus& status) {
+  std::string out = "{";
+  out += "\"uptime_s\":" + obs::json_number(status.uptime_s);
+  out += ",\"draining\":";
+  out += status.draining ? "true" : "false";
+  out += ",\"active_connections\":" +
+         std::to_string(status.active_connections);
+  out += ",\"peak_connections\":" + std::to_string(status.peak_connections);
+  out += ",\"shed_connections\":" + std::to_string(status.shed_connections);
+  out += ",\"requests_served\":" + std::to_string(status.requests_served);
+  for (const std::string& fragment : status.extra) {
+    out += ',';
+    out += fragment;
+  }
+  out += "}";
+  return out;
+}
+
+bool is_telemetry_target(std::string_view target) {
+  return target == "/metrics" || target == "/statusz";
+}
+
+HttpResponse telemetry_response(obs::MetricsRegistry& registry,
+                                std::string_view target,
+                                const TelemetryStatus& status) {
+  HttpResponse response;
+  if (target == "/metrics") {
+    std::ostringstream body;
+    registry.write_prometheus(body);
+    response.headers.set("Content-Type", kPrometheusContentType);
+    response.body = std::move(body).str();
+  } else {
+    response.headers.set("Content-Type", "application/json");
+    response.body = statusz_json(status) + "\n";
+  }
+  return response;
+}
+
+TelemetryServer::TelemetryServer(obs::MetricsRegistry& registry,
+                                 StatusSource status,
+                                 TelemetryServerOptions options)
+    : registry_(&registry),
+      status_source_(std::move(status)),
+      options_(options),
+      metrics_requests_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryRequestsTotal,
+          obs::telemetry_endpoint_label("/metrics"))),
+      statusz_requests_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryRequestsTotal,
+          obs::telemetry_endpoint_label("/statusz"))),
+      scrape_latency_(&obs::MetricsRegistry::global().histogram(
+          obs::kTelemetryScrapeLatencyUs, "",
+          obs::exponential_buckets(10.0, 2.0, 16))),
+      deadline_exceeded_(&obs::MetricsRegistry::global().counter(
+          obs::kTelemetryDeadlineExceededTotal)),
+      server_([this](TcpStream& stream) { handle(stream); }) {
+  server_.set_max_connections(options_.max_connections);
+  server_.set_reject_handler([this](TcpStream& stream) { reject(stream); });
+}
+
+void TelemetryServer::start(std::uint16_t port) {
+  started_ = std::chrono::steady_clock::now();
+  server_.start(port);
+}
+
+void TelemetryServer::stop() { server_.stop(); }
+
+TelemetryStatus TelemetryServer::status() {
+  if (status_source_) return status_source_();
+  TelemetryStatus status;
+  status.uptime_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - started_)
+                        .count();
+  status.draining = server_.draining();
+  status.active_connections = server_.active_connections();
+  status.peak_connections = server_.peak_connections();
+  status.shed_connections = server_.rejected_connections();
+  status.requests_served = requests_served_.load();
+  return status;
+}
+
+void TelemetryServer::handle(TcpStream& stream) {
+  // One request per connection, the whole exchange bounded by the deadline:
+  // a scraper that dribbles its request or refuses to read the response is
+  // disconnected, not waited on.
+  try {
+    stream.set_no_delay(true);
+    stream.set_timeout_ms(options_.deadline_ms);
+    HttpConnection connection(&stream);
+    const obs::LatencyTimer timer(scrape_latency_);
+    std::optional<HttpRequest> request;
+    try {
+      request = connection.read_request();
+    } catch (const std::invalid_argument&) {
+      HttpResponse bad;
+      bad.status = 400;
+      bad.reason = "Bad Request";
+      bad.headers.set("Connection", "close");
+      connection.write_response(bad);
+      return;
+    }
+    if (!request.has_value()) return;
+    ++requests_served_;
+
+    HttpResponse response;
+    if (request->method != "GET") {
+      response.status = 405;
+      response.reason = "Method Not Allowed";
+      response.headers.set("Allow", "GET");
+    } else if (is_telemetry_target(request->target)) {
+      (request->target == "/metrics" ? metrics_requests_ : statusz_requests_)
+          ->increment();
+      response = telemetry_response(*registry_, request->target, status());
+    } else if (request->target == "/healthz") {
+      response.headers.set("Content-Type", "text/plain");
+      response.body = "ok\n";
+    } else {
+      response.status = 404;
+      response.reason = "Not Found";
+    }
+    response.headers.set("Connection", "close");
+    connection.write_response(response);
+    stream.shutdown_write();
+  } catch (const std::exception&) {
+    // Deadline hit (or peer gone): shed the scrape rather than queue it.
+    deadline_exceeded_->increment();
+  }
+}
+
+void TelemetryServer::reject(TcpStream& stream) {
+  try {
+    stream.set_no_delay(true);
+    stream.set_timeout_ms(options_.deadline_ms);
+    HttpConnection connection(&stream);
+    try {
+      (void)connection.read_request();
+    } catch (const std::exception&) {
+    }
+    HttpResponse response;
+    response.status = 503;
+    response.reason = "Service Unavailable";
+    response.headers.set("Retry-After", "1");
+    response.headers.set("Connection", "close");
+    response.body = "overloaded\n";
+    connection.write_response(response);
+    stream.shutdown_write();
+  } catch (const std::exception&) {
+    // Peer gone mid-shed: nothing to tell it.
+  }
+}
+
+}  // namespace abr::net

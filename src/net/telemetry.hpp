@@ -1,0 +1,104 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/chunk_server.hpp"
+#include "net/http.hpp"
+#include "obs/metrics.hpp"
+
+namespace abr::net {
+
+/// Content type of a Prometheus text-format (0.0.4) scrape body.
+inline constexpr char kPrometheusContentType[] =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Point-in-time server state rendered by /statusz.
+struct TelemetryStatus {
+  double uptime_s = 0.0;
+  bool draining = false;
+  std::size_t active_connections = 0;
+  std::size_t peak_connections = 0;
+  std::size_t shed_connections = 0;
+  std::size_t requests_served = 0;
+  /// Extra preformatted JSON members (e.g. "\"sessions\":4"), appended
+  /// verbatim after the standard fields. Each entry must be a complete
+  /// `"key":value` fragment.
+  std::vector<std::string> extra;
+};
+
+/// Compact single-line JSON for /statusz.
+std::string statusz_json(const TelemetryStatus& status);
+
+/// True for the request targets served by the telemetry plane (/metrics and
+/// /statusz). Telemetry responses bypass traffic shaping and are written
+/// under a hard per-request deadline, so a scrape can never worsen overload.
+bool is_telemetry_target(std::string_view target);
+
+/// Builds the /metrics (Prometheus text exposition) or /statusz (JSON)
+/// response. `target` must satisfy is_telemetry_target().
+HttpResponse telemetry_response(obs::MetricsRegistry& registry,
+                                std::string_view target,
+                                const TelemetryStatus& status);
+
+struct TelemetryServerOptions {
+  /// Admission cap on concurrent scrapes. Overloaded scrapers are shed with
+  /// a terse 503 on their own short-lived thread — never queued.
+  std::size_t max_connections = 4;
+
+  /// Hard per-request deadline: socket reads and writes past this are
+  /// abandoned (and counted in abr_telemetry_deadline_exceeded_total).
+  int deadline_ms = 250;
+};
+
+/// Standalone scrape endpoint for client-side processes (`abrsim
+/// --telemetry-port`): serves GET /metrics, /statusz, and /healthz from a
+/// registry, one request per connection, bounded by
+/// TelemetryServerOptions::deadline_ms. The registry must outlive the
+/// server.
+class TelemetryServer {
+ public:
+  /// Optional callback supplying the /statusz payload; when absent the
+  /// server reports its own uptime and transport counters.
+  using StatusSource = std::function<TelemetryStatus()>;
+
+  explicit TelemetryServer(obs::MetricsRegistry& registry,
+                           StatusSource status = nullptr,
+                           TelemetryServerOptions options = {});
+
+  /// Port 0 picks an ephemeral port.
+  void start(std::uint16_t port = 0);
+  void stop();
+
+  std::uint16_t port() const { return server_.port(); }
+  std::size_t requests_served() const { return requests_served_.load(); }
+  std::size_t shed_connections() const {
+    return server_.rejected_connections();
+  }
+  const TcpServer& transport() const { return server_; }
+
+ private:
+  void handle(TcpStream& stream);
+  void reject(TcpStream& stream);
+  TelemetryStatus status();
+
+  obs::MetricsRegistry* registry_;
+  StatusSource status_source_;
+  TelemetryServerOptions options_;
+  std::chrono::steady_clock::time_point started_;
+  std::atomic<std::size_t> requests_served_{0};
+
+  obs::Counter* metrics_requests_;
+  obs::Counter* statusz_requests_;
+  obs::Histogram* scrape_latency_;
+  obs::Counter* deadline_exceeded_;
+
+  TcpServer server_;
+};
+
+}  // namespace abr::net

@@ -1,0 +1,287 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+namespace abr::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name.substr(1)) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty() || name.front() == ':') return false;
+  return valid_metric_name(name);
+}
+
+/// A sample value: finite decimal, +Inf, -Inf, or NaN.
+bool valid_value(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "+Inf" || token == "-Inf" || token == "NaN") return true;
+  const std::string text(token);
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+/// Strips a histogram sample suffix, returning the base family name.
+std::string_view family_of(std::string_view name) {
+  for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+struct HistogramState {
+  std::uint64_t last_cumulative = 0;
+  std::optional<std::uint64_t> inf_bucket;
+  std::optional<std::uint64_t> count;
+  std::size_t count_line = 0;
+};
+
+/// Syntax-checks the label body between braces.
+bool parse_labels(std::string_view body) {
+  while (!body.empty()) {
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) return false;
+    if (!valid_label_name(body.substr(0, eq))) return false;
+    body.remove_prefix(eq + 1);
+    if (body.empty() || body.front() != '"') return false;
+    body.remove_prefix(1);
+    while (!body.empty() && body.front() != '"') {
+      if (body.front() == '\\') {
+        if (body.size() < 2) return false;
+        body.remove_prefix(2);
+      } else {
+        body.remove_prefix(1);
+      }
+    }
+    if (body.empty()) return false;  // unterminated value
+    body.remove_prefix(1);           // closing quote
+    if (!body.empty()) {
+      if (body.front() != ',') return false;
+      body.remove_prefix(1);
+      if (body.empty()) return false;  // trailing comma
+    }
+  }
+  return true;
+}
+
+/// Extracts the value of label `name` from a label body (no syntax checks).
+std::optional<std::string> label_value(std::string_view body,
+                                       std::string_view name) {
+  while (!body.empty()) {
+    const std::size_t eq = body.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = body.substr(0, eq);
+    body.remove_prefix(eq + 1);
+    if (body.empty() || body.front() != '"') return std::nullopt;
+    body.remove_prefix(1);
+    std::string value;
+    while (!body.empty() && body.front() != '"') {
+      if (body.front() == '\\' && body.size() >= 2) {
+        value += body[1];
+        body.remove_prefix(2);
+      } else {
+        value += body.front();
+        body.remove_prefix(1);
+      }
+    }
+    if (body.empty()) return std::nullopt;
+    body.remove_prefix(1);
+    if (key == name) return value;
+    if (!body.empty() && body.front() == ',') body.remove_prefix(1);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<ExpositionIssue> validate_prometheus_text(std::string_view text) {
+  std::vector<ExpositionIssue> issues;
+  std::map<std::string, std::string, std::less<>> declared_type;
+  // Histogram bookkeeping keyed by family{labels-without-le}.
+  std::map<std::string, HistogramState> histograms;
+
+  const auto issue = [&](std::size_t line, std::string message) {
+    issues.push_back({line, std::move(message)});
+  };
+
+  std::size_t line_number = 0;
+  while (!text.empty()) {
+    ++line_number;
+    const std::size_t newline = text.find('\n');
+    std::string_view line = text.substr(0, newline);
+    text.remove_prefix(newline == std::string_view::npos ? text.size()
+                                                         : newline + 1);
+    if (line.empty()) continue;
+
+    if (line.front() == '#') {
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        if (space == std::string_view::npos) {
+          issue(line_number, "malformed # TYPE line");
+          continue;
+        }
+        const std::string_view name = rest.substr(0, space);
+        const std::string_view kind = rest.substr(space + 1);
+        if (!valid_metric_name(name)) {
+          issue(line_number,
+                "invalid metric name in # TYPE: " + std::string(name));
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          issue(line_number, "unknown metric type: " + std::string(kind));
+        }
+        declared_type[std::string(name)] = std::string(kind);
+      }
+      continue;  // # HELP and other comments are free-form
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t name_end = 0;
+    while (name_end < line.size() && line[name_end] != '{' &&
+           line[name_end] != ' ') {
+      ++name_end;
+    }
+    const std::string_view name = line.substr(0, name_end);
+    if (!valid_metric_name(name)) {
+      issue(line_number, "invalid metric name: " + std::string(name));
+      continue;
+    }
+    std::string_view rest = line.substr(name_end);
+    std::string_view labels;
+    if (!rest.empty() && rest.front() == '{') {
+      const std::size_t close = rest.find('}');
+      if (close == std::string_view::npos) {
+        issue(line_number, "unterminated label body");
+        continue;
+      }
+      labels = rest.substr(1, close - 1);
+      if (!parse_labels(labels)) {
+        issue(line_number, "malformed label body: " + std::string(labels));
+      }
+      rest.remove_prefix(close + 1);
+    }
+    if (rest.empty() || rest.front() != ' ') {
+      issue(line_number, "missing sample value");
+      continue;
+    }
+    rest.remove_prefix(1);
+    const std::size_t value_end = rest.find(' ');
+    const std::string_view value_token = rest.substr(0, value_end);
+    if (!valid_value(value_token)) {
+      issue(line_number, "unparsable sample value: " + std::string(value_token));
+      continue;
+    }
+    if (value_end != std::string_view::npos) {
+      const std::string_view timestamp = rest.substr(value_end + 1);
+      if (!valid_value(timestamp)) {
+        issue(line_number, "unparsable timestamp: " + std::string(timestamp));
+      }
+    }
+
+    // Type discipline: the sample must belong to a declared family, and the
+    // declaration must precede it (we only see prior declarations here).
+    const std::string_view family = family_of(name);
+    const auto declared = declared_type.find(family);
+    const auto declared_self = declared_type.find(name);
+    const bool histogram_sample =
+        declared != declared_type.end() && declared->second == "histogram" &&
+        family.size() != name.size();
+    if (declared_self == declared_type.end() && !histogram_sample) {
+      issue(line_number,
+            "sample precedes its # TYPE declaration: " + std::string(name));
+      continue;
+    }
+
+    if (histogram_sample) {
+      const std::string_view suffix = name.substr(family.size());
+      if (suffix == "_bucket") {
+        const auto le = label_value(labels, "le");
+        if (!le.has_value()) {
+          issue(line_number, "histogram bucket without le label");
+          continue;
+        }
+        // Key buckets by their family + non-le labels so labeled variants
+        // track independently.
+        std::string residual(labels);
+        const std::size_t le_pos = residual.find("le=\"");
+        if (le_pos != std::string::npos) {
+          std::size_t start = le_pos;
+          std::size_t end = residual.find('"', le_pos + 4);
+          end = end == std::string::npos ? residual.size() : end + 1;
+          if (end < residual.size() && residual[end] == ',') {
+            ++end;  // swallow the separator of a following pair
+          } else if (start > 0 && residual[start - 1] == ',') {
+            --start;  // swallow the separator of a preceding pair
+          }
+          residual.erase(start, end - start);
+        }
+        std::string key(family);
+        key += '{';
+        key += residual;
+        key += '}';
+        HistogramState& state = histograms[key];
+        const auto cumulative = static_cast<std::uint64_t>(
+            std::strtoull(std::string(value_token).c_str(), nullptr, 10));
+        if (cumulative < state.last_cumulative) {
+          issue(line_number, "histogram bucket counts are not cumulative");
+        }
+        state.last_cumulative = cumulative;
+        if (*le == "+Inf") state.inf_bucket = cumulative;
+      } else if (suffix == "_count") {
+        std::string key(family);
+        key += '{';
+        key += std::string(labels);
+        key += '}';
+        HistogramState& state = histograms[key];
+        state.count = static_cast<std::uint64_t>(
+            std::strtoull(std::string(value_token).c_str(), nullptr, 10));
+        state.count_line = line_number;
+      }
+    }
+  }
+
+  for (const auto& [key, state] : histograms) {
+    if (!state.inf_bucket.has_value()) {
+      issue(state.count_line == 0 ? line_number : state.count_line,
+            "histogram " + key + " has no le=\"+Inf\" bucket");
+    } else if (state.count.has_value() && *state.count != *state.inf_bucket) {
+      issue(state.count_line,
+            "histogram " + key + " _count disagrees with its +Inf bucket");
+    }
+  }
+  return issues;
+}
+
+std::string format_exposition_issues(
+    const std::vector<ExpositionIssue>& issues) {
+  std::string out;
+  for (const ExpositionIssue& issue : issues) {
+    out += "line " + std::to_string(issue.line) + ": " + issue.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace abr::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abr::obs {
+
+/// One problem found by validate_prometheus_text (1-based line number).
+struct ExpositionIssue {
+  std::size_t line = 0;
+  std::string message;
+
+  friend bool operator==(const ExpositionIssue&,
+                         const ExpositionIssue&) = default;
+};
+
+/// Validates Prometheus text exposition format (version 0.0.4): metric and
+/// label name syntax, parsable sample values, `# TYPE` declarations naming a
+/// known kind and preceding their family's samples, and histogram
+/// consistency (cumulative `_bucket` counts that end in an `le="+Inf"`
+/// bucket equal to `_count`). Returns every issue found; an empty vector
+/// means the text is a valid scrape body. CI's telemetry smoke job and the
+/// unit tests both gate on this.
+std::vector<ExpositionIssue> validate_prometheus_text(std::string_view text);
+
+/// Formats issues as "line N: message" lines (empty string when clean).
+std::string format_exposition_issues(const std::vector<ExpositionIssue>& issues);
+
+}  // namespace abr::obs

@@ -24,6 +24,10 @@ std::string bad_request_label(const char* reason) {
   return std::string("reason=\"") + reason + "\"";
 }
 
+std::string telemetry_endpoint_label(const char* endpoint) {
+  return std::string("endpoint=\"") + endpoint + "\"";
+}
+
 void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* algorithm : {"MPC", "RobustMPC", "FastMPC"}) {
     registry.histogram(kSolveLatencyUs, solve_algorithm_label(algorithm));
@@ -62,6 +66,16 @@ void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* reason : {"malformed", "method", "not_found"}) {
     registry.counter(kHttpBadRequestsTotal, bad_request_label(reason));
   }
+  for (const char* endpoint : {"/metrics", "/statusz"}) {
+    registry.counter(kTelemetryRequestsTotal,
+                     telemetry_endpoint_label(endpoint));
+  }
+  registry.histogram(kTelemetryScrapeLatencyUs, "",
+                     exponential_buckets(10.0, 2.0, 16));
+  registry.counter(kTelemetryDeadlineExceededTotal);
+  registry.counter(kJournalRecordsTotal);
+  registry.gauge(kFleetSessionsActive);
+  registry.counter(kFleetBucketsEvictedTotal);
 }
 
 }  // namespace abr::obs

@@ -67,6 +67,18 @@ inline constexpr char kHttpPeakConnections[] = "abr_http_peak_connections";
 inline constexpr char kDrainForcedClosesTotal[] =
     "abr_server_drain_forced_closes_total";
 
+// Live telemetry plane (net/telemetry, obs/journal, sim/fleet_series).
+inline constexpr char kTelemetryRequestsTotal[] =
+    "abr_telemetry_requests_total";
+inline constexpr char kTelemetryScrapeLatencyUs[] =
+    "abr_telemetry_scrape_latency_us";
+inline constexpr char kTelemetryDeadlineExceededTotal[] =
+    "abr_telemetry_deadline_exceeded_total";
+inline constexpr char kJournalRecordsTotal[] = "abr_journal_records_total";
+inline constexpr char kFleetSessionsActive[] = "abr_fleet_sessions_active";
+inline constexpr char kFleetBucketsEvictedTotal[] =
+    "abr_fleet_buckets_evicted_total";
+
 /// Label body for a solve-latency histogram, e.g. algorithm="MPC".
 std::string solve_algorithm_label(const std::string& algorithm);
 
@@ -81,6 +93,9 @@ std::string breaker_transition_label(std::size_t origin, const char* to);
 
 /// Label body for a bad-request counter, e.g. reason="malformed".
 std::string bad_request_label(const char* reason);
+
+/// Label body for a telemetry request counter, e.g. endpoint="/metrics".
+std::string telemetry_endpoint_label(const char* endpoint);
 
 /// Pre-registers the standard metric families above (with the solve-latency
 /// histograms for MPC, RobustMPC, and FastMPC) so a metrics dump shows the

@@ -21,6 +21,8 @@ struct FetchOutcome {
   std::size_t attempts = 1;  ///< attempts consumed (>= 1)
   std::size_t origin = 0;    ///< origin that served (or last refused) the
                              ///< chunk; 0 for single-origin sources
+  std::size_t faults = 0;    ///< injected faults / failed attempts hit by
+                             ///< this fetch (delivery provenance)
 };
 
 /// Transport retry semantics shared by the real-HTTP client and the

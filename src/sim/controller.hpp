@@ -38,6 +38,18 @@ struct AbrState {
   bool playback_started = false;
 };
 
+/// What a controller can report about how its last decide() call was made,
+/// consumed by the session journal. Kept flat and POD-ish so controllers can
+/// refresh it per decision without allocation.
+struct DecisionTelemetry {
+  std::size_t nodes_expanded = 0;  ///< solver nodes behind the decision
+  bool warm_start = false;         ///< solve seeded from the previous plan
+  const char* path = "rule";       ///< "online" | "table" | "rule"
+  double effective_forecast_kbps = 0.0;  ///< forecast after robustness
+                                         ///< deflation (0 = none used)
+  double error_window = 0.0;  ///< max abs fractional prediction error
+};
+
 /// A bitrate adaptation policy: the function f(.) of Eq. (12).
 ///
 /// Implementations are deliberately stateful-but-resettable objects (FESTIVE
@@ -57,6 +69,11 @@ class BitrateController {
 
   /// Clears cross-chunk state before a new session.
   virtual void reset() {}
+
+  /// Telemetry for the most recent decide() call, or nullptr for controllers
+  /// that do not track it (rule-based policies). The pointee is invalidated
+  /// by the next decide()/reset().
+  virtual const DecisionTelemetry* last_decision() const { return nullptr; }
 
   virtual std::string name() const = 0;
 };

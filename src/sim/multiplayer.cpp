@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace_event.hpp"
@@ -53,6 +54,13 @@ struct Player {
   SessionResult result;
   qoe::QoeModel::Accumulator qoe_acc;
 
+  // Journal attribution state (mirrors the Accumulator's smoothness memory
+  // so per-chunk charges sum exactly to the session totals).
+  double journal_prev_quality = 0.0;
+  bool journal_has_prev = false;
+  double journal_qoe_cum = 0.0;
+  DecisionTelemetry telemetry;  ///< snapshot for the in-flight chunk
+
   explicit Player(const qoe::QoeModel& model) : qoe_acc(model) {}
 };
 
@@ -97,6 +105,10 @@ MultiPlayerResult simulate_shared_link(
       config.trace_writer != nullptr && config.trace_writer->enabled()
           ? config.trace_writer
           : nullptr;
+  FleetSeries* fleet = config.fleet;
+  obs::Journal* journal = config.journal;
+  const qoe::QoeWeights& weights = qoe.weights();
+  obs::Gauge& fleet_active_gauge = registry.gauge(obs::kFleetSessionsActive);
   std::vector<obs::Counter*> chunk_counters(n);
   std::vector<obs::Counter*> rebuffer_counters(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -135,6 +147,10 @@ MultiPlayerResult simulate_shared_link(
     const std::size_t level = controllers[index]->decide(state, manifest);
     if (level >= manifest.level_count()) {
       throw std::logic_error("shared-link controller returned bad level");
+    }
+    player.telemetry = DecisionTelemetry{};
+    if (const DecisionTelemetry* t = controllers[index]->last_decision()) {
+      player.telemetry = *t;
     }
 
     player.level = level;
@@ -190,6 +206,8 @@ MultiPlayerResult simulate_shared_link(
       delivered_kb += step_kb;
       busy_span_end = now + dt;
     }
+    fleet_active_gauge.set(static_cast<double>(active));
+    if (fleet != nullptr && active > 0) fleet->note_active(now, active);
 
     // 3. Advance every player by dt.
     for (std::size_t i = 0; i < n; ++i) {
@@ -266,6 +284,57 @@ MultiPlayerResult simulate_shared_link(
             }
 
             player.qoe_acc.add_chunk(record.bitrate_kbps, record.rebuffer_s);
+            if (journal != nullptr || fleet != nullptr) {
+              const double q = qoe.quality(record.bitrate_kbps);
+              const double switch_penalty =
+                  player.journal_has_prev
+                      ? weights.lambda *
+                            std::abs(q - player.journal_prev_quality)
+                      : 0.0;
+              const double rebuffer_charge =
+                  weights.mu * record.rebuffer_s +
+                  (record.rebuffer_s > 0.0 ? weights.mu_event : 0.0);
+              const double qoe_chunk = q - switch_penalty - rebuffer_charge;
+              player.journal_prev_quality = q;
+              player.journal_has_prev = true;
+              player.journal_qoe_cum += qoe_chunk;
+              if (fleet != nullptr) {
+                fleet->record_chunk(end, record, qoe_chunk);
+              }
+              if (journal != nullptr) {
+                obs::ChunkJournalEntry entry;
+                entry.session = "p" + std::to_string(i);
+                entry.algorithm = controllers[i]->name();
+                entry.chunk = record.index;
+                entry.level = record.level;
+                entry.t_s = record.start_s;
+                entry.bitrate_kbps = record.bitrate_kbps;
+                entry.download_s = record.download_s;
+                entry.throughput_kbps = record.throughput_kbps;
+                entry.buffer_before_s = record.buffer_before_s;
+                entry.buffer_after_s = record.buffer_after_s;
+                entry.rebuffer_s = record.rebuffer_s;
+                entry.wait_s = record.wait_s;
+                entry.qoe_utility = q;
+                entry.qoe_switch_penalty = switch_penalty;
+                entry.qoe_rebuffer_charge = rebuffer_charge;
+                entry.qoe_chunk = qoe_chunk;
+                entry.qoe_cumulative = player.journal_qoe_cum;
+                entry.predicted_kbps = record.predicted_kbps;
+                entry.effective_kbps =
+                    player.telemetry.effective_forecast_kbps;
+                entry.error_window = player.telemetry.error_window;
+                entry.nodes_expanded = player.telemetry.nodes_expanded;
+                entry.warm_start = player.telemetry.warm_start;
+                entry.solver_path = player.telemetry.path;
+                entry.origin = record.origin;
+                entry.attempts = record.attempts;
+                entry.faults = record.faults;
+                entry.degraded = record.degraded;
+                entry.skipped = record.skipped;
+                journal->chunk(entry);
+              }
+            }
             player.history_kbps.push_back(record.throughput_kbps);
             player.prev_level = player.level;
             player.has_prev = true;
@@ -304,7 +373,8 @@ MultiPlayerResult simulate_shared_link(
   MultiPlayerResult result;
   result.players.reserve(n);
   std::vector<double> average_bitrates;
-  for (Player& player : players) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Player& player = players[i];
     player.qoe_acc.set_startup_delay(
         config.session.include_startup_in_qoe ? player.startup_delay_s : 0.0);
     SessionResult& session = player.result;
@@ -336,6 +406,37 @@ MultiPlayerResult simulate_shared_link(
     session.total_wait_s = wait_sum;
     session.rebuffer_chunk_fraction =
         chunks > 0 ? static_cast<double>(stalled) / chunks : 0.0;
+
+    if (journal != nullptr) {
+      obs::SessionJournalEntry entry;
+      entry.session = "p" + std::to_string(i);
+      entry.algorithm = controllers[i]->name();
+      entry.chunks = session.chunks.size();
+      entry.duration_s = session.session_duration_s;
+      entry.startup_delay_s = session.startup_delay_s;
+      entry.qoe = session.qoe;
+      entry.qoe_utility = player.qoe_acc.total_quality();
+      entry.qoe_switch_penalty =
+          weights.lambda * player.qoe_acc.total_smoothness_penalty();
+      entry.qoe_rebuffer_charge =
+          weights.mu * player.qoe_acc.total_rebuffer_s() +
+          weights.mu_event *
+              static_cast<double>(player.qoe_acc.rebuffer_events());
+      entry.qoe_startup_charge = config.session.include_startup_in_qoe
+                                     ? weights.mu_startup *
+                                           player.startup_delay_s
+                                     : 0.0;
+      entry.average_bitrate_kbps = session.average_bitrate_kbps;
+      entry.rebuffer_s = session.total_rebuffer_s;
+      entry.switches = session.switch_count;
+      entry.degraded_chunks = session.degraded_chunks;
+      entry.skipped_chunks = session.skipped_chunks;
+      for (const ChunkRecord& r : session.chunks) {
+        entry.attempts += r.attempts;
+        entry.faults += r.faults;
+      }
+      journal->session(entry);
+    }
 
     average_bitrates.push_back(session.average_bitrate_kbps);
     result.players.push_back(std::move(session));

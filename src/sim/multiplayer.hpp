@@ -6,9 +6,11 @@
 #include "media/manifest.hpp"
 #include "predict/predictor.hpp"
 #include "qoe/qoe.hpp"
+#include "sim/fleet_series.hpp"
 #include "sim/player.hpp"
 
 namespace abr::obs {
+class Journal;
 class TraceWriter;
 }
 
@@ -34,6 +36,15 @@ struct MultiPlayerConfig {
   /// index). Per-player metrics (chunks, rebuffer seconds, labeled
   /// player="i") go to obs::MetricsRegistry::global() when it is enabled.
   obs::TraceWriter* trace_writer = nullptr;
+
+  /// Optional fleet time-series aggregator: per-bucket QoE percentiles,
+  /// rebuffer ratio, bitrate distribution, and sessions active, fed as
+  /// chunks complete. Must outlive the call.
+  FleetSeries* fleet = nullptr;
+
+  /// Optional structured journal: one chunk record per download (session
+  /// "p<i>") and one session record per player. Must outlive the call.
+  obs::Journal* journal = nullptr;
 };
 
 /// Outcome of a shared-link simulation.

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace_event.hpp"
@@ -69,6 +70,15 @@ SessionResult PlayerSession::run(ChunkSource& source,
   bool playback_start_emitted = false;
 
   qoe::QoeModel::Accumulator qoe_acc(*qoe_);
+
+  // Journal attribution state: mirrors the Accumulator's smoothness memory
+  // so per-chunk charges sum exactly to the session totals.
+  obs::Journal* journal = config_.journal;
+  const qoe::QoeWeights& weights = qoe_->weights();
+  const std::string algorithm_name = controller.name();
+  double journal_prev_quality = 0.0;
+  bool journal_has_prev = false;
+  double journal_qoe_cum = 0.0;
 
   std::vector<double> history_kbps;
   history_kbps.reserve(chunk_count);
@@ -141,6 +151,12 @@ SessionResult PlayerSession::run(ChunkSource& source,
       throw std::logic_error("controller '" + controller.name() +
                              "' returned an out-of-range ladder index");
     }
+    // Snapshot decision telemetry now — the pointee is invalidated by the
+    // next decide()/reset().
+    DecisionTelemetry decision_telemetry;
+    if (const DecisionTelemetry* t = controller.last_decision()) {
+      decision_telemetry = *t;
+    }
 
     // 3. Download.
     ChunkRecord record;
@@ -165,6 +181,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
       FetchOutcome fallback = source.fetch(k, 0);
       fallback.duration_s += outcome.duration_s;
       fallback.attempts += outcome.attempts;
+      fallback.faults += outcome.faults;
       outcome = fallback;
     }
     const bool skipped = outcome.failed;
@@ -174,6 +191,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
     }
     record.attempts = outcome.attempts;
     record.origin = outcome.origin;
+    record.faults = outcome.faults;
     record.degraded = degraded;
     record.skipped = skipped;
     assert(outcome.duration_s > 0.0);
@@ -286,6 +304,52 @@ SessionResult PlayerSession::run(ChunkSource& source,
     }
 
     qoe_acc.add_chunk(record.bitrate_kbps, rebuffer_s);
+    if (journal != nullptr) {
+      // Per-chunk Eq. (5) attribution with the exact Accumulator semantics:
+      // skipped chunks contribute q(0), transitions through 0 count as
+      // switches, and every stalled chunk pays the per-event charge.
+      const double q = qoe_->quality(record.bitrate_kbps);
+      const double switch_penalty =
+          journal_has_prev ? weights.lambda * std::abs(q - journal_prev_quality)
+                           : 0.0;
+      const double rebuffer_charge =
+          weights.mu * rebuffer_s + (rebuffer_s > 0.0 ? weights.mu_event : 0.0);
+      const double qoe_chunk = q - switch_penalty - rebuffer_charge;
+      journal_prev_quality = q;
+      journal_has_prev = true;
+      journal_qoe_cum += qoe_chunk;
+
+      obs::ChunkJournalEntry entry;
+      entry.session = config_.session_label;
+      entry.algorithm = algorithm_name;
+      entry.chunk = k;
+      entry.level = level;
+      entry.t_s = record.start_s;
+      entry.bitrate_kbps = record.bitrate_kbps;
+      entry.download_s = record.download_s;
+      entry.throughput_kbps = record.throughput_kbps;
+      entry.buffer_before_s = record.buffer_before_s;
+      entry.buffer_after_s = record.buffer_after_s;
+      entry.rebuffer_s = rebuffer_s;
+      entry.wait_s = wait_s;
+      entry.qoe_utility = q;
+      entry.qoe_switch_penalty = switch_penalty;
+      entry.qoe_rebuffer_charge = rebuffer_charge;
+      entry.qoe_chunk = qoe_chunk;
+      entry.qoe_cumulative = journal_qoe_cum;
+      entry.predicted_kbps = record.predicted_kbps;
+      entry.effective_kbps = decision_telemetry.effective_forecast_kbps;
+      entry.error_window = decision_telemetry.error_window;
+      entry.nodes_expanded = decision_telemetry.nodes_expanded;
+      entry.warm_start = decision_telemetry.warm_start;
+      entry.solver_path = decision_telemetry.path;
+      entry.origin = record.origin;
+      entry.attempts = record.attempts;
+      entry.faults = record.faults;
+      entry.degraded = degraded;
+      entry.skipped = skipped;
+      journal->chunk(entry);
+    }
     if (!skipped) {
       // A skipped chunk yields no throughput sample and no played level:
       // predictors and controllers keep seeing the last real transfer.
@@ -336,6 +400,33 @@ SessionResult PlayerSession::run(ChunkSource& source,
   result.total_wait_s = wait_sum;
   result.rebuffer_chunk_fraction =
       n > 0 ? static_cast<double>(stalled_chunks) / n : 0.0;
+
+  if (journal != nullptr) {
+    obs::SessionJournalEntry entry;
+    entry.session = config_.session_label;
+    entry.algorithm = algorithm_name;
+    entry.chunks = result.chunks.size();
+    entry.duration_s = result.session_duration_s;
+    entry.startup_delay_s = result.startup_delay_s;
+    entry.qoe = result.qoe;
+    entry.qoe_utility = qoe_acc.total_quality();
+    entry.qoe_switch_penalty =
+        weights.lambda * qoe_acc.total_smoothness_penalty();
+    entry.qoe_rebuffer_charge =
+        weights.mu * qoe_acc.total_rebuffer_s() +
+        weights.mu_event * static_cast<double>(qoe_acc.rebuffer_events());
+    entry.qoe_startup_charge = config_.include_startup_in_qoe
+                                   ? weights.mu_startup * startup_delay
+                                   : 0.0;
+    entry.average_bitrate_kbps = result.average_bitrate_kbps;
+    entry.rebuffer_s = result.total_rebuffer_s;
+    entry.switches = result.switch_count;
+    entry.degraded_chunks = result.degraded_chunks;
+    entry.skipped_chunks = result.skipped_chunks;
+    entry.attempts = result.total_attempts;
+    for (const ChunkRecord& r : result.chunks) entry.faults += r.faults;
+    journal->session(entry);
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "sim/controller.hpp"
 
 namespace abr::obs {
+class Journal;
 class TraceWriter;
 }
 
@@ -53,6 +54,15 @@ struct SessionConfig {
   /// timelines give each player its own track.
   int trace_track = 0;
 
+  /// Optional structured session journal: one JSONL record per chunk
+  /// decision (full Eq. (5) attribution, predictor/solver state, delivery
+  /// provenance) plus one per finished session. All timestamps are virtual
+  /// session time, so seeded runs journal byte-identically.
+  obs::Journal* journal = nullptr;
+
+  /// Session id stamped on journal records ("s0", "p3", ...).
+  std::string session_label = "s0";
+
   /// Failure handling when a ChunkSource reports an exhausted transfer
   /// (FetchOutcome::failed). When true, the player falls back to the lowest
   /// ladder rung for that chunk; if even that fails, the chunk is skipped
@@ -80,6 +90,8 @@ struct ChunkRecord {
   std::size_t attempts = 1;        ///< transfer attempts across all levels
   std::size_t origin = 0;          ///< origin that served the chunk (0 for
                                    ///< single-origin sources)
+  std::size_t faults = 0;          ///< injected faults / failed attempts
+                                   ///< encountered while fetching
   bool degraded = false;           ///< fell back to the lowest rung
   bool skipped = false;            ///< never delivered; duration charged as
                                    ///< rebuffering, bitrate recorded as 0

@@ -33,6 +33,7 @@ sim::FetchOutcome FaultySource::fetch(std::size_t chunk, std::size_t level) {
     const FaultDecision decision = plan_.decide(chunk, attempt);
     if (decision.kind != FaultKind::kNone) {
       ++faults_injected_;
+      ++outcome.faults;
       registry
           .counter(obs::kFaultsInjectedTotal,
                    obs::fault_kind_label(fault_kind_name(decision.kind)))

@@ -1,0 +1,4 @@
+// Relative include: tools/ is scanned for include hygiene like src/.
+#include "../../src/obs/names.hpp"
+
+int bad_report() { return 0; }

@@ -1,0 +1,7 @@
+// Clean include hygiene for a tool: sibling headers by bare name, project
+// headers src-root-relative.
+#include "report.hpp"
+
+#include "obs/names.hpp"
+
+int report() { return 0; }

@@ -1,0 +1,142 @@
+// Prometheus text-exposition validator: real registry dumps must pass, and
+// each class of malformation (bad names, bad values, missing TYPE, broken
+// histogram invariants) must be flagged with a line number.
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+
+namespace abr::obs {
+namespace {
+
+std::string issues_text(const std::string& body) {
+  return format_exposition_issues(validate_prometheus_text(body));
+}
+
+TEST(ExpositionValidator, AcceptsEmptyAndCommentOnlyBodies) {
+  EXPECT_TRUE(validate_prometheus_text("").empty());
+  EXPECT_TRUE(validate_prometheus_text("# just a comment\n").empty());
+}
+
+TEST(ExpositionValidator, AcceptsSimpleFamilies) {
+  const std::string body =
+      "# HELP requests total requests\n"
+      "# TYPE requests counter\n"
+      "requests 42\n"
+      "# TYPE temp gauge\n"
+      "temp{room=\"lab\"} -3.5\n"
+      "# TYPE free_form untyped\n"
+      "free_form 1e300\n";
+  EXPECT_EQ(issues_text(body), "") << body;
+}
+
+TEST(ExpositionValidator, AcceptsSpecialValues) {
+  const std::string body =
+      "# TYPE x gauge\n# TYPE y gauge\n# TYPE z gauge\n"
+      "x +Inf\ny -Inf\nz NaN\n";
+  EXPECT_TRUE(validate_prometheus_text(body).empty());
+}
+
+TEST(ExpositionValidator, FlagsUndeclaredSample) {
+  // Type discipline: every sample must follow its family's # TYPE line
+  // (our registry always declares; an undeclared sample means a scrape was
+  // truncated or hand-assembled).
+  EXPECT_NE(issues_text("free_form 1\n"), "");
+}
+
+TEST(ExpositionValidator, FlagsBadMetricName) {
+  EXPECT_NE(issues_text("# TYPE 9bad_name gauge\n9bad_name 1\n"), "");
+  EXPECT_NE(issues_text("bad-name 1\n"), "");
+}
+
+TEST(ExpositionValidator, FlagsBadValue) {
+  EXPECT_NE(issues_text("# TYPE name gauge\nname not_a_number\n"), "");
+}
+
+TEST(ExpositionValidator, FlagsUnknownTypeKeyword) {
+  EXPECT_NE(issues_text("# TYPE thing widget\nthing 1\n"), "");
+}
+
+TEST(ExpositionValidator, FlagsTypeAfterSamples) {
+  const std::string body =
+      "requests 1\n"
+      "# TYPE requests counter\n";
+  EXPECT_NE(issues_text(body), "");
+}
+
+TEST(ExpositionValidator, FlagsHistogramWithoutInfBucket) {
+  const std::string body =
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"10\"} 1\n"
+      "lat_bucket{le=\"20\"} 2\n"
+      "lat_sum 12\n"
+      "lat_count 2\n";
+  EXPECT_NE(issues_text(body), "");
+}
+
+TEST(ExpositionValidator, FlagsNonCumulativeBuckets) {
+  const std::string body =
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"10\"} 5\n"
+      "lat_bucket{le=\"20\"} 3\n"
+      "lat_bucket{le=\"+Inf\"} 5\n"
+      "lat_sum 12\n"
+      "lat_count 5\n";
+  EXPECT_NE(issues_text(body), "");
+}
+
+TEST(ExpositionValidator, FlagsCountMismatchedWithInfBucket) {
+  const std::string body =
+      "# TYPE lat histogram\n"
+      "lat_bucket{le=\"+Inf\"} 5\n"
+      "lat_sum 12\n"
+      "lat_count 4\n";
+  EXPECT_NE(issues_text(body), "");
+}
+
+TEST(ExpositionValidator, AcceptsLabeledHistogramPairs) {
+  // Two label sets of one family, each internally cumulative.
+  const std::string body =
+      "# TYPE lat histogram\n"
+      "lat_bucket{origin=\"0\",le=\"10\"} 1\n"
+      "lat_bucket{origin=\"0\",le=\"+Inf\"} 2\n"
+      "lat_bucket{origin=\"1\",le=\"10\"} 4\n"
+      "lat_bucket{origin=\"1\",le=\"+Inf\"} 4\n"
+      "lat_sum{origin=\"0\"} 9\n"
+      "lat_count{origin=\"0\"} 2\n"
+      "lat_sum{origin=\"1\"} 17\n"
+      "lat_count{origin=\"1\"} 4\n";
+  EXPECT_EQ(issues_text(body), "") << body;
+}
+
+TEST(ExpositionValidator, RealRegistryDumpValidates) {
+  MetricsRegistry registry;
+  registry.set_enabled(true);
+  register_standard_metrics(registry);
+  registry.counter(kJournalRecordsTotal).increment(3.0);
+  registry
+      .histogram(kTelemetryScrapeLatencyUs, "",
+                 exponential_buckets(10.0, 2.0, 16))
+      .observe(137.0);
+  registry.gauge(kFleetSessionsActive).set(4.0);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  EXPECT_EQ(issues_text(out.str()), "") << out.str();
+}
+
+TEST(ExpositionValidator, FormatsLineNumbers) {
+  const auto issues =
+      validate_prometheus_text("# TYPE ok gauge\nok 1\nbad-name 1\n");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 3u);
+  EXPECT_NE(format_exposition_issues(issues).find("line 3:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace abr::obs

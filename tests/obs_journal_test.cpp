@@ -1,0 +1,190 @@
+// Structured session journal: JSON encoding helpers, record layout, the
+// Eq. (5) attribution invariant (per-chunk contributions + startup charge
+// reproduce the session QoE exactly), and determinism of the serialization.
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "abrreport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
+#include "sim/player.hpp"
+#include "test_helpers.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace abr::obs {
+namespace {
+
+TEST(JsonEscape, EscapesControlQuotesAndBackslash) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumber, IntegralDoublesPrintAsIntegers) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(350.0), "350");
+  EXPECT_EQ(json_number(-4300.0), "-4300");
+  EXPECT_EQ(json_number(1.0e6), "1000000");
+}
+
+TEST(JsonNumber, ShortestRoundTripForFractions) {
+  const double values[] = {0.1, 1.0 / 3.0, 1245.1446189476815, -0.25,
+                           6.0725130531196205};
+  for (const double value : values) {
+    const std::string text = json_number(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+    // Deterministic: same double, same bytes.
+    EXPECT_EQ(json_number(value), text);
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(Journal, EmitsOneLinePerRecordWithFixedKeyOrder) {
+  std::ostringstream out;
+  Journal journal(out);
+
+  ChunkJournalEntry chunk;
+  chunk.session = "s0";
+  chunk.algorithm = "RobustMPC";
+  chunk.chunk = 3;
+  chunk.bitrate_kbps = 750.0;
+  chunk.solver_path = "online";
+  journal.chunk(chunk);
+
+  SessionJournalEntry session;
+  session.session = "s0";
+  session.algorithm = "RobustMPC";
+  session.chunks = 8;
+  journal.session(session);
+  journal.flush();
+
+  EXPECT_EQ(journal.records(), 2u);
+  const std::string text = out.str();
+  ASSERT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_EQ(text.rfind("{\"type\":\"chunk\",\"session\":\"s0\","
+                       "\"algo\":\"RobustMPC\",\"chunk\":3,",
+                       0),
+            0u);
+  EXPECT_NE(text.find("\n{\"type\":\"session\",\"session\":\"s0\","
+                      "\"algo\":\"RobustMPC\",\"chunks\":8,"),
+            std::string::npos);
+
+  // Every line is a parsable flat JSON object.
+  std::istringstream lines(text);
+  std::string line;
+  abr::tools::JsonObject object;
+  std::string error;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(abr::tools::parse_flat_json(line, object, error)) << error;
+  }
+}
+
+TEST(Journal, CountsRecordsInGlobalRegistryWhenEnabled) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.set_enabled(true);
+  Counter& counter = registry.counter(kJournalRecordsTotal);
+  const double before = counter.value();
+  {
+    std::ostringstream out;
+    Journal journal(out);
+    journal.chunk(ChunkJournalEntry{});
+    journal.session(SessionJournalEntry{});
+  }
+  EXPECT_DOUBLE_EQ(counter.value(), before + 2.0);
+  registry.set_enabled(false);
+}
+
+TEST(Journal, RejectsUnwritablePath) {
+  EXPECT_THROW(Journal("/nonexistent-dir/journal.jsonl"), std::runtime_error);
+}
+
+// The attribution invariant: summing each chunk's qoe_chunk and subtracting
+// the session startup charge reproduces the session record's qoe, which in
+// turn matches SessionResult.qoe from the simulator.
+TEST(Journal, AttributionDecomposesSessionQoe) {
+  const auto manifest = abr::testing::small_manifest();
+  const auto qoe = abr::testing::balanced_qoe();
+  const auto trace = trace::ThroughputTrace::constant(1200.0, 1000.0);
+
+  std::ostringstream out;
+  Journal journal(out);
+  sim::SessionConfig config;
+  config.journal = &journal;
+  config.session_label = "attr";
+  abr::testing::ScriptedController controller({0, 1, 2, 1, 0, 2, 2, 1});
+  abr::testing::ConstantPredictor predictor(1200.0);
+  const sim::SessionResult result =
+      sim::simulate(trace, manifest, qoe, config, controller, predictor);
+
+  double chunk_sum = 0.0;
+  double session_qoe = 0.0;
+  double startup_charge = 0.0;
+  double cumulative = 0.0;
+  std::size_t chunk_records = 0;
+  std::istringstream lines(out.str());
+  std::string line;
+  abr::tools::JsonObject object;
+  std::string error;
+  while (std::getline(lines, line)) {
+    ASSERT_TRUE(abr::tools::parse_flat_json(line, object, error)) << error;
+    const std::string type = object.at("type").text;
+    if (type == "chunk") {
+      ++chunk_records;
+      const double utility = object.at("qoe_utility").number;
+      const double switch_penalty = object.at("qoe_switch_penalty").number;
+      const double rebuffer_charge = object.at("qoe_rebuffer_charge").number;
+      const double qoe_chunk = object.at("qoe_chunk").number;
+      EXPECT_NEAR(qoe_chunk, utility - switch_penalty - rebuffer_charge,
+                  1e-9);
+      chunk_sum += qoe_chunk;
+      cumulative = object.at("qoe_cum").number;
+      EXPECT_EQ(object.at("session").text, "attr");
+    } else if (type == "session") {
+      session_qoe = object.at("qoe").number;
+      startup_charge = object.at("qoe_startup_charge").number;
+    }
+  }
+  ASSERT_EQ(chunk_records, result.chunks.size());
+  EXPECT_NEAR(cumulative, chunk_sum, 1e-9);
+  EXPECT_NEAR(session_qoe, chunk_sum - startup_charge, 1e-6);
+  EXPECT_NEAR(session_qoe, result.qoe, 1e-6);
+}
+
+// Byte-identical serialization: the same simulation journaled twice
+// produces the same bytes (the library-level face of the CLI determinism
+// test in tools_test.cpp).
+TEST(Journal, SameSessionSerializesByteIdentically) {
+  const auto manifest = abr::testing::small_manifest();
+  const auto qoe = abr::testing::balanced_qoe();
+  const auto trace = trace::ThroughputTrace::constant(900.0, 1000.0);
+
+  auto run_once = [&]() {
+    std::ostringstream out;
+    Journal journal(out);
+    sim::SessionConfig config;
+    config.journal = &journal;
+    abr::testing::ScriptedController controller({0, 2, 1, 1, 0, 2, 0, 1});
+    abr::testing::ConstantPredictor predictor(900.0);
+    sim::simulate(trace, manifest, qoe, config, controller, predictor);
+    return out.str();
+  };
+  const std::string first = run_once();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, run_once());
+}
+
+}  // namespace
+}  // namespace abr::obs

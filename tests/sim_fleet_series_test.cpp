@@ -1,0 +1,152 @@
+// Fleet time-series aggregation: bucketing, nearest-rank percentiles,
+// rebuffer ratio, ring eviction, deterministic JSON export, and the wiring
+// through simulate_shared_link.
+#include "sim/fleet_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/multiplayer.hpp"
+#include "test_helpers.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace abr::sim {
+namespace {
+
+ChunkRecord make_record(double bitrate_kbps, double rebuffer_s = 0.0) {
+  ChunkRecord record;
+  record.bitrate_kbps = bitrate_kbps;
+  record.rebuffer_s = rebuffer_s;
+  return record;
+}
+
+TEST(FleetSeries, RejectsBadConfig) {
+  FleetSeriesConfig bad_bucket;
+  bad_bucket.bucket_s = 0.0;
+  EXPECT_THROW(FleetSeries{bad_bucket}, std::invalid_argument);
+  FleetSeriesConfig bad_capacity;
+  bad_capacity.capacity = 0;
+  EXPECT_THROW(FleetSeries{bad_capacity}, std::invalid_argument);
+}
+
+TEST(FleetSeries, BucketsByVirtualTime) {
+  FleetSeriesConfig config;
+  config.bucket_s = 5.0;
+  FleetSeries series(config);
+  series.record_chunk(1.0, make_record(300.0), 300.0);
+  series.record_chunk(4.9, make_record(750.0), 750.0);
+  series.record_chunk(5.1, make_record(750.0), 750.0);
+  series.record_chunk(12.0, make_record(1200.0), 1200.0);
+  EXPECT_EQ(series.bucket_count(), 3u);
+  EXPECT_EQ(series.evicted_buckets(), 0u);
+  const std::string json = series.to_json();
+  EXPECT_NE(json.find("\"t0_s\":0,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t0_s\":5,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t0_s\":10,"), std::string::npos) << json;
+}
+
+TEST(FleetSeries, PercentilesAndBitrateDistribution) {
+  FleetSeriesConfig config;
+  config.bucket_s = 100.0;
+  config.chunk_duration_s = 4.0;
+  FleetSeries series(config);
+  // Ten chunks, QoE 1..10: nearest-rank p50 = 5, p90 = 9, p99 = 10.
+  for (int i = 1; i <= 10; ++i) {
+    series.record_chunk(1.0, make_record(i <= 5 ? 300.0 : 750.0),
+                        static_cast<double>(i));
+  }
+  series.note_active(1.0, 3);
+  series.note_active(2.0, 7);
+  series.note_active(3.0, 2);
+  const std::string json = series.to_json();
+  EXPECT_NE(json.find("\"qoe_p50\":5,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qoe_p90\":9,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"qoe_p99\":10,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sessions_active\":7,"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"kbps\":300,\"chunks\":5}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"kbps\":750,\"chunks\":5}"), std::string::npos)
+      << json;
+}
+
+TEST(FleetSeries, RebufferRatioUsesPlayedPlusStalled) {
+  FleetSeriesConfig config;
+  config.bucket_s = 10.0;
+  config.chunk_duration_s = 4.0;
+  FleetSeries series(config);
+  // One 4 s chunk with 1 s of stalling: ratio = 1 / (4 + 1).
+  series.record_chunk(2.0, make_record(300.0, 1.0), 0.0);
+  const std::string json = series.to_json();
+  EXPECT_NE(json.find("\"rebuffer_s\":1,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rebuffer_ratio\":0.2,"), std::string::npos) << json;
+}
+
+TEST(FleetSeries, EvictsOldestBucketsPastCapacity) {
+  FleetSeriesConfig config;
+  config.bucket_s = 1.0;
+  config.capacity = 3;
+  FleetSeries series(config);
+  for (int t = 0; t < 10; ++t) {
+    series.record_chunk(static_cast<double>(t) + 0.5, make_record(300.0),
+                        300.0);
+  }
+  EXPECT_EQ(series.bucket_count(), 3u);
+  EXPECT_EQ(series.evicted_buckets(), 7u);
+  const std::string json = series.to_json();
+  EXPECT_NE(json.find("\"evicted\":7,"), std::string::npos) << json;
+  // Only the newest three buckets survive.
+  EXPECT_EQ(json.find("\"t0_s\":0,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"t0_s\":9,"), std::string::npos) << json;
+}
+
+TEST(FleetSeries, SaveWritesJsonLine) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "abr_fleet_series_test.json";
+  std::filesystem::remove(path);
+  FleetSeries series;
+  series.record_chunk(0.0, make_record(300.0), 42.0);
+  series.save(path.string());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, series.to_json());
+  std::filesystem::remove(path);
+  EXPECT_THROW(series.save("/nonexistent-dir/fleet.json"),
+               std::runtime_error);
+}
+
+TEST(FleetSeries, SharedLinkSimulationFeedsSeriesDeterministically) {
+  const auto manifest = abr::testing::small_manifest();
+  const auto qoe = abr::testing::balanced_qoe();
+  const auto link = trace::ThroughputTrace::constant(3000.0, 1000.0);
+
+  auto run_once = [&]() {
+    FleetSeriesConfig fleet_config;
+    fleet_config.chunk_duration_s = manifest.chunk_duration_s();
+    FleetSeries fleet(fleet_config);
+    abr::testing::FixedLevelController c0(0);
+    abr::testing::FixedLevelController c1(1);
+    abr::testing::ConstantPredictor p0(1500.0);
+    abr::testing::ConstantPredictor p1(1500.0);
+    std::vector<BitrateController*> controllers = {&c0, &c1};
+    std::vector<predict::ThroughputPredictor*> predictors = {&p0, &p1};
+    MultiPlayerConfig config;
+    config.fleet = &fleet;
+    simulate_shared_link(link, manifest, qoe, config, controllers,
+                         predictors);
+    return fleet.to_json();
+  };
+  const std::string first = run_once();
+  EXPECT_GT(first.size(), 2u);
+  EXPECT_NE(first.find("\"chunks\":"), std::string::npos);
+  EXPECT_EQ(first, run_once());
+}
+
+}  // namespace
+}  // namespace abr::sim

@@ -1,0 +1,59 @@
+// abrreport CLI. Usage:
+//
+//   abrreport JOURNAL.jsonl [MORE.jsonl ...]   summarize session journals
+//   abrreport --check-metrics FILE             validate a /metrics scrape body
+//
+// Exit codes: 0 success/valid, 1 validation issues or malformed journal
+// lines, 2 usage or I/O error.
+#include <cstring>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "abrreport.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> journals;
+  std::vector<std::string> metrics_files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "abrreport: --check-metrics needs a file argument\n";
+        return 2;
+      }
+      metrics_files.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: abrreport [--check-metrics FILE] [JOURNAL...]\n";
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::cerr << "abrreport: unknown option " << argv[i] << "\n";
+      return 2;
+    } else {
+      journals.emplace_back(argv[i]);
+    }
+  }
+  if (journals.empty() && metrics_files.empty()) {
+    std::cerr << "usage: abrreport [--check-metrics FILE] [JOURNAL...]\n";
+    return 2;
+  }
+
+  int status = 0;
+  for (const std::string& path : metrics_files) {
+    status = std::max(status, abr::tools::check_metrics_file(path, std::cout));
+  }
+  for (const std::string& path : journals) {
+    try {
+      const abr::tools::ReportSummary summary =
+          abr::tools::load_journal(path);
+      if (journals.size() > 1) std::cout << "== " << path << " ==\n";
+      std::cout << abr::tools::render_report(summary);
+      if (summary.malformed_lines > 0) status = std::max(status, 1);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+  return status;
+}

@@ -11,6 +11,7 @@
 //   abrsim --algorithm robustmpc --dataset fcc --metrics --trace-out t.json
 //   abrsim --algorithm robustmpc --dataset hsdpa --faults plan.json
 //   abrsim --origins 2 --kill-origin at=60,restart=150 --chunk-log
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -18,12 +19,15 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/algorithms.hpp"
 #include "core/offline_optimal.hpp"
 #include "media/mpd.hpp"
 #include "net/origin_pool.hpp"
 #include "net/origin_sim.hpp"
+#include "net/telemetry.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/names.hpp"
 #include "obs/trace_event.hpp"
@@ -59,6 +63,9 @@ struct Options {
   std::string faults_path;
   std::size_t origins = 1;
   std::vector<std::string> kill_specs;
+  std::string journal_path;
+  int telemetry_port = -1;
+  double telemetry_linger_s = 0.0;
 };
 
 void usage() {
@@ -88,7 +95,16 @@ void usage() {
       "  --kill-origin SPEC        take an origin down in session time:\n"
       "                            at=T[,restart=U][,origin=K]; repeatable.\n"
       "                            Deterministic: same flags => bit-identical\n"
-      "                            chunk log. Implies --origins 2 unless set.");
+      "                            chunk log. Implies --origins 2 unless set.\n"
+      "  --journal FILE.jsonl      write the structured session journal (one\n"
+      "                            JSON record per chunk decision with full\n"
+      "                            QoE attribution; byte-identical across\n"
+      "                            seeded runs). Summarize with abrreport.\n"
+      "  --telemetry-port P        serve GET /metrics, /statusz, /healthz on\n"
+      "                            P while the session runs (0 = ephemeral;\n"
+      "                            implies --metrics)\n"
+      "  --telemetry-linger S      keep the telemetry endpoint up S seconds\n"
+      "                            after the session ends (for scrapers)");
 }
 
 std::optional<core::Algorithm> parse_algorithm(std::string_view name) {
@@ -141,6 +157,11 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--origins")
       options.origins = std::strtoull(value(), nullptr, 10);
     else if (arg == "--kill-origin") options.kill_specs.emplace_back(value());
+    else if (arg == "--journal") options.journal_path = value();
+    else if (arg == "--telemetry-port")
+      options.telemetry_port = std::atoi(value());
+    else if (arg == "--telemetry-linger")
+      options.telemetry_linger_s = std::atof(value());
     else if (arg == "--help") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
@@ -206,7 +227,7 @@ int main(int argc, char** argv) {
   // Observability: --metrics flips the global registry's kill switch and
   // pre-registers the standard families so the dump shows the full schema;
   // --trace-out attaches a Chrome trace-event writer to the session.
-  if (options.metrics) {
+  if (options.metrics || options.telemetry_port >= 0) {
     obs::MetricsRegistry::global().set_enabled(true);
     obs::register_standard_metrics(obs::MetricsRegistry::global());
   }
@@ -219,6 +240,36 @@ int main(int argc, char** argv) {
   sim::SessionConfig session;
   session.buffer_capacity_s = options.buffer_s;
   if (tracer.enabled()) session.trace_writer = &tracer;
+
+  // --journal attaches the structured JSONL journal to the session; every
+  // chunk decision gets one record with the full Eq. (5) attribution.
+  std::optional<obs::Journal> journal;
+  if (!options.journal_path.empty()) {
+    try {
+      journal.emplace(options.journal_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    session.journal = &*journal;
+  }
+
+  // --telemetry-port serves live scrapes while the (virtual-time) session
+  // runs; --telemetry-linger keeps the endpoint up afterwards so external
+  // scrapers can collect the final counters.
+  std::optional<net::TelemetryServer> telemetry;
+  if (options.telemetry_port >= 0) {
+    telemetry.emplace(obs::MetricsRegistry::global());
+    try {
+      telemetry->start(static_cast<std::uint16_t>(options.telemetry_port));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "telemetry: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "telemetry: 127.0.0.1:%u (/metrics /statusz /healthz)\n",
+                 static_cast<unsigned>(telemetry->port()));
+  }
 
   core::AlgorithmOptions algo_options;
   algo_options.buffer_capacity_s = options.buffer_s;
@@ -334,11 +385,24 @@ int main(int argc, char** argv) {
     std::printf("\nwrote Chrome trace: %s (%zu events; open chrome://tracing)\n",
                 options.trace_out.c_str(), tracer.event_count());
   }
+  if (journal.has_value()) {
+    journal->flush();
+    std::printf("\nwrote journal: %s (%zu records; summarize with abrreport)\n",
+                options.journal_path.c_str(), journal->records());
+  }
   if (options.metrics) {
     std::printf("\n# metrics (Prometheus text exposition format)\n");
     std::fflush(stdout);
     obs::MetricsRegistry::global().write_prometheus(std::cout);
     std::cout.flush();
+  }
+  if (telemetry.has_value()) {
+    if (options.telemetry_linger_s > 0.0) {
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.telemetry_linger_s));
+    }
+    telemetry->stop();
   }
   return 0;
 }
