@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/bola.hpp"
 #include "core/buffer_based.hpp"
 #include "core/dashjs_rules.hpp"
 #include "core/festive.hpp"
@@ -9,6 +10,12 @@
 #include "core/rate_based.hpp"
 
 namespace abr::core {
+
+static_assert(static_cast<std::size_t>(Algorithm::kMpcDp) + 1 ==
+                  kAlgorithmCount,
+              "Algorithm enum and kAlgorithmCount out of sync: update the "
+              "constant (and algorithm_name / make_algorithm) when adding a "
+              "policy");
 
 const char* algorithm_name(Algorithm algorithm) {
   switch (algorithm) {
@@ -20,6 +27,8 @@ const char* algorithm_name(Algorithm algorithm) {
     case Algorithm::kMpcOpt: return "MPC-OPT";
     case Algorithm::kDashJs: return "dash.js";
     case Algorithm::kFestive: return "FESTIVE";
+    case Algorithm::kBola: return "BOLA";
+    case Algorithm::kMpcDp: return "MPC-DP";
   }
   return "?";
 }
@@ -28,6 +37,15 @@ std::vector<Algorithm> all_algorithms() {
   return {Algorithm::kRateBased,  Algorithm::kBufferBased,
           Algorithm::kFastMpc,    Algorithm::kRobustMpc,
           Algorithm::kDashJs,     Algorithm::kFestive};
+}
+
+std::vector<Algorithm> registered_algorithms() {
+  std::vector<Algorithm> algorithms;
+  algorithms.reserve(kAlgorithmCount);
+  for (std::size_t i = 0; i < kAlgorithmCount; ++i) {
+    algorithms.push_back(static_cast<Algorithm>(i));
+  }
+  return algorithms;
 }
 
 AlgorithmInstance make_algorithm(Algorithm algorithm,
@@ -88,6 +106,24 @@ AlgorithmInstance make_algorithm(Algorithm algorithm,
     case Algorithm::kFestive:
       instance.controller = std::make_unique<FestiveController>();
       break;
+    case Algorithm::kBola: {
+      BolaConfig config;
+      config.buffer_capacity_s = options.buffer_capacity_s;
+      instance.controller =
+          std::make_unique<BolaController>(manifest, qoe, config);
+      break;
+    }
+    case Algorithm::kMpcDp: {
+      MpcConfig config;
+      config.horizon = options.mpc_horizon;
+      config.robust = false;
+      config.buffer_capacity_s = options.buffer_capacity_s;
+      config.backend = SolverBackend::kValueIteration;
+      config.dp_buffer_bins = options.dp_buffer_bins;
+      instance.controller =
+          std::make_unique<MpcController>(manifest, qoe, config);
+      break;
+    }
   }
   if (instance.controller == nullptr) {
     throw std::invalid_argument("make_algorithm: unknown algorithm");

@@ -12,7 +12,8 @@
 
 namespace abr::core {
 
-/// The algorithms compared in Section 7 of the paper.
+/// Every bitrate controller the repo can instantiate: the algorithms
+/// compared in Section 7 of the paper plus later additions.
 enum class Algorithm {
   kRateBased,    ///< RB: max bitrate under the harmonic-mean prediction
   kBufferBased,  ///< BB: Huang et al. reservoir/cushion rate map
@@ -22,12 +23,26 @@ enum class Algorithm {
   kMpcOpt,       ///< MPC-OPT: basic MPC fed perfect 5-chunk predictions
   kDashJs,       ///< original dash.js rule-based logic
   kFestive,      ///< FESTIVE with alpha = 12
+  kBola,         ///< BOLA: buffer-level Lyapunov control (Spiteri et al.)
+  kMpcDp,        ///< basic MPC on the value-iteration solver backend
 };
+
+/// Number of Algorithm enumerators. make_algorithm, algorithm_name, and the
+/// registry tests all enumerate [0, kAlgorithmCount); a static_assert in
+/// algorithms.cpp trips when the enum grows without this constant (and
+/// therefore the registry) following, so a new policy cannot silently skip
+/// factory or test coverage.
+inline constexpr std::size_t kAlgorithmCount = 10;
 
 const char* algorithm_name(Algorithm algorithm);
 
-/// All algorithms in the order the paper's figures list them.
+/// All algorithms in the order the paper's figures list them (the Fig. 8-10
+/// comparison set only — stable across repo growth).
 std::vector<Algorithm> all_algorithms();
+
+/// Every registered algorithm, in enum order. The tournament and the
+/// registry tests iterate this, not a hand-maintained list.
+std::vector<Algorithm> registered_algorithms();
 
 /// A ready-to-run (controller, predictor) pair configured exactly as in
 /// Section 7.1.2. Owns both objects; reusable across sessions (the player
@@ -48,6 +63,8 @@ struct AlgorithmOptions {
   /// Shared FastMPC table; built on demand (and cached by the caller) if
   /// null when kFastMpc is requested.
   std::shared_ptr<const FastMpcTable> fastmpc_table;
+  /// Buffer-grid resolution for kMpcDp's value-iteration solver.
+  std::size_t dp_buffer_bins = 600;
   /// Seed for stochastic predictors (none of the defaults need it, but
   /// custom predictors may).
   std::uint64_t seed = 1;

@@ -1,0 +1,95 @@
+#include "core/bola.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace abr::core {
+
+BolaController::BolaController(const media::VideoManifest& manifest,
+                               const qoe::QoeModel& qoe, BolaConfig config)
+    : chunk_duration_s_(manifest.chunk_duration_s()) {
+  const std::size_t levels = manifest.level_count();
+  if (levels == 0) {
+    throw std::invalid_argument("BolaController: empty ladder");
+  }
+  if (!(config.buffer_capacity_s > 0.0)) {
+    throw std::invalid_argument("BolaController: non-positive capacity");
+  }
+  const double base_quality = qoe.quality(manifest.bitrate_kbps(0));
+  utilities_.resize(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    utilities_[level] = qoe.quality(manifest.bitrate_kbps(level)) - base_quality;
+  }
+
+  // Auto gamma_p: the bias at which the lowest rung ties rung m at an empty
+  // buffer is S_0 * v_m / (S_m - S_0) (equate the two scores at Q = 0, with
+  // nominal CBR sizes S proportional to R). Doubling the worst case makes
+  // "empty buffer => lowest rung" strict for every rung.
+  if (config.gamma_p < 0.0) {
+    double needed = 0.0;
+    const double r0 = manifest.bitrate_kbps(0);
+    for (std::size_t level = 1; level < levels; ++level) {
+      const double rm = manifest.bitrate_kbps(level);
+      if (rm > r0) {
+        needed = std::max(needed, r0 * utilities_[level] / (rm - r0));
+      }
+    }
+    gamma_p_ = needed > 0.0 ? 2.0 * needed : 1.0;
+  } else {
+    gamma_p_ = config.gamma_p;
+    if (!(gamma_p_ > 0.0)) {
+      throw std::invalid_argument("BolaController: gamma_p must be positive");
+    }
+  }
+
+  // V maps the buffer axis onto utility: with Q_max = capacity in chunks,
+  // the top rung's score crosses the others' exactly one chunk short of a
+  // full buffer (the BOLA paper's choice of V for a finite buffer).
+  const double q_max_chunks = config.buffer_capacity_s / chunk_duration_s_;
+  const double v_top = utilities_.back() + gamma_p_;
+  v_ = std::max(q_max_chunks - 1.0, 0.5) / v_top;
+
+  low_buffer_threshold_s_ = config.low_buffer_threshold_s < 0.0
+                                ? 2.0 * chunk_duration_s_
+                                : config.low_buffer_threshold_s;
+}
+
+std::size_t BolaController::decide(const sim::AbrState& state,
+                                   const media::VideoManifest& manifest) {
+  if (manifest.level_count() != utilities_.size()) {
+    throw std::logic_error("BolaController: manifest/ladder mismatch");
+  }
+  const std::size_t levels = utilities_.size();
+  const double buffer_chunks = state.buffer_s / chunk_duration_s_;
+
+  // Pure BOLA argmax over per-chunk encoded sizes. Scores are linear in the
+  // buffer with slope -1/S_m, so the winning rung is non-decreasing in
+  // buffer level; ties break toward the lower rung.
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t level = 0; level < levels; ++level) {
+    const double size_kb = manifest.chunk_kilobits(state.chunk_index, level);
+    const double score =
+        (v_ * (utilities_[level] + gamma_p_) - buffer_chunks) / size_kb;
+    if (level == 0 || score > best_score) {
+      best = level;
+      best_score = score;
+    }
+  }
+
+  // Low-buffer insurance: with little buffer at stake, never reach above the
+  // rung the forecast says is sustainable. The cap vanishes once the buffer
+  // clears the threshold, so monotonicity in buffer level is preserved.
+  const double forecast =
+      state.prediction_kbps.empty() ? 0.0 : state.prediction_kbps.front();
+  if (state.buffer_s < low_buffer_threshold_s_ && forecast > 0.0) {
+    best = std::min(best, manifest.highest_level_not_above(forecast));
+  }
+
+  telemetry_ = sim::DecisionTelemetry{};
+  telemetry_.path = "rule";
+  telemetry_.effective_forecast_kbps = forecast;
+  return best;
+}
+
+}  // namespace abr::core

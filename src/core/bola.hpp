@@ -1,0 +1,81 @@
+#pragma once
+
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/controller.hpp"
+
+namespace abr::core {
+
+/// Knobs of the BOLA controller (Spiteri, Urgaonkar, Sitaraman,
+/// arXiv:1601.06748): Lyapunov drift-plus-penalty control on the buffer
+/// level alone.
+struct BolaConfig {
+  /// Must match the player's SessionConfig::buffer_capacity_s; sets the
+  /// Lyapunov weight V so the top rung is chosen exactly when the buffer is
+  /// one chunk short of full.
+  double buffer_capacity_s = 30.0;
+
+  /// The gamma*p utility bias of the BOLA objective, in utility units (the
+  /// units of this repo's q(R)). Larger values push the tradeoff toward
+  /// rebuffer avoidance (lower rungs at low buffer). Negative (the default)
+  /// derives a value from the ladder: twice the smallest bias that makes the
+  /// lowest rung win at an empty buffer, so BOLA always starts conservative.
+  double gamma_p = -1.0;
+
+  /// Below this buffer level the pure Lyapunov argmax is additionally capped
+  /// at the highest rung sustainable under the current throughput forecast
+  /// (BOLA-E style insurance against startup oscillation). Negative (the
+  /// default) means two chunk durations. The cap only ever lowers the
+  /// decision, so the BOLA property "selected level is non-decreasing in
+  /// buffer level" is preserved (pinned by property tests).
+  double low_buffer_threshold_s = -1.0;
+};
+
+/// BOLA: buffer-level Lyapunov control. Each decision maximizes
+///
+///   (V * (v_m + gamma_p) - Q) / S_m
+///
+/// over ladder indices m, where Q is the buffer in chunk units, S_m the
+/// chunk's encoded size, and v_m = q(R_m) - q(R_0) the utility of rung m
+/// under this repo's QoE quality function (the paper's Eq. (5)
+/// parameterization, so BOLA competes for the same objective the MPC family
+/// optimizes). V = (Q_max - 1) / (v_top + gamma_p) maps a full buffer to the
+/// top rung. No throughput model enters the core rule — only the low-buffer
+/// safety cap consults the forecast.
+///
+/// Deterministic and wall-clock free: decisions are a pure function of the
+/// AbrState, so seeded sessions replay bit-identically (pinned by golden
+/// decision logs, including under fault injection).
+class BolaController final : public sim::BitrateController {
+ public:
+  /// The manifest fixes the ladder, chunk duration, and per-chunk sizes; the
+  /// QoE model supplies the utility curve. Both must outlive the controller.
+  BolaController(const media::VideoManifest& manifest,
+                 const qoe::QoeModel& qoe, BolaConfig config = {});
+
+  std::size_t decide(const sim::AbrState& state,
+                     const media::VideoManifest& manifest) override;
+  std::size_t prediction_horizon() const override { return 1; }
+  void reset() override { telemetry_ = sim::DecisionTelemetry{}; }
+  std::string name() const override { return "BOLA"; }
+  const sim::DecisionTelemetry* last_decision() const override {
+    return &telemetry_;
+  }
+
+  /// Resolved parameters (after the <0 "auto" defaults), for tests and docs.
+  double gamma_p() const { return gamma_p_; }
+  double lyapunov_v() const { return v_; }
+  double low_buffer_threshold_s() const { return low_buffer_threshold_s_; }
+
+ private:
+  std::vector<double> utilities_;  ///< v_m = q(R_m) - q(R_0), per rung
+  double chunk_duration_s_ = 0.0;
+  double gamma_p_ = 0.0;
+  double v_ = 0.0;  ///< Lyapunov tradeoff weight V
+  double low_buffer_threshold_s_ = 0.0;
+  sim::DecisionTelemetry telemetry_;  ///< refreshed by each decide()
+};
+
+}  // namespace abr::core

@@ -5,9 +5,11 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/dp_solver.hpp"
 #include "core/horizon_solver.hpp"
 #include "obs/names.hpp"
 #include "obs/span.hpp"
@@ -144,10 +146,24 @@ FastMpcTable FastMpcTable::build(const media::VideoManifest& manifest,
   util::parallel_for(
       config.throughput_bins,
       [&](std::size_t c) {
-        HorizonSolver solver(generic, qoe);
-        HorizonSolver::Workspace workspace;
         const std::vector<double> forecast(config.horizon,
                                            throughput_binner.center(c));
+        if (config.dp_backend) {
+          // One backward value-iteration pass serves the entire
+          // (previous level x buffer bin) plane of this throughput bin.
+          DpSolverConfig dp_config;
+          dp_config.buffer_bins = config.dp_buffer_bins;
+          DpHorizonSolver dp(generic, qoe, dp_config);
+          const std::size_t plane = levels * config.buffer_bins;
+          const std::size_t nodes = dp.solve_slice(
+              forecast, 0, config.buffer_capacity_s, buffer_binner,
+              config.buffer_bins,
+              std::span<std::uint8_t>(decisions.data() + c * plane, plane));
+          total_nodes.fetch_add(nodes, std::memory_order_relaxed);
+          return;
+        }
+        HorizonSolver solver(generic, qoe);
+        HorizonSolver::Workspace workspace;
         std::vector<std::size_t> neighbor_plan;
         std::size_t bin_nodes = 0;
         for (std::size_t prev = 0; prev < levels; ++prev) {

@@ -10,15 +10,31 @@
 
 namespace abr::core {
 
+namespace {
+
+const char* mpc_variant_name(const MpcConfig& config) {
+  if (config.backend == SolverBackend::kValueIteration) {
+    return config.robust ? "RobustMPC-DP" : "MPC-DP";
+  }
+  return config.robust ? "RobustMPC" : "MPC";
+}
+
+}  // namespace
+
 MpcController::MpcController(const media::VideoManifest& manifest,
                              const qoe::QoeModel& qoe, MpcConfig config)
     : solver_(manifest, qoe),
       config_(config),
       solve_histogram_(&obs::MetricsRegistry::global().histogram(
           obs::kSolveLatencyUs,
-          obs::solve_algorithm_label(config.robust ? "RobustMPC" : "MPC"))),
+          obs::solve_algorithm_label(mpc_variant_name(config)))),
       error_tracker_(config.error_window) {
   assert(config.horizon >= 1);
+  if (config_.backend == SolverBackend::kValueIteration) {
+    DpSolverConfig dp_config;
+    dp_config.buffer_bins = config_.dp_buffer_bins;
+    dp_solver_ = std::make_unique<DpHorizonSolver>(manifest, qoe, dp_config);
+  }
 }
 
 void MpcController::reset() {
@@ -30,9 +46,7 @@ void MpcController::reset() {
   telemetry_ = sim::DecisionTelemetry{};
 }
 
-std::string MpcController::name() const {
-  return config_.robust ? "RobustMPC" : "MPC";
-}
+std::string MpcController::name() const { return mpc_variant_name(config_); }
 
 std::size_t MpcController::decide(const sim::AbrState& state,
                                   const media::VideoManifest& manifest) {
@@ -84,7 +98,8 @@ std::size_t MpcController::decide(const sim::AbrState& state,
   HorizonSolution solution;
   {
     obs::LatencyTimer timer(solve_histogram_);
-    solution = solver_.solve(problem, workspace_);
+    solution = dp_solver_ != nullptr ? dp_solver_->solve(problem)
+                                     : solver_.solve(problem, workspace_);
   }
   (void)manifest;
 

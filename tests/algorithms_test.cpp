@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "sim/player.hpp"
 #include "test_helpers.hpp"
 #include "trace/generators.hpp"
@@ -9,6 +11,14 @@
 
 namespace abr::core {
 namespace {
+
+/// The controller name make_algorithm is expected to produce. Identical to
+/// algorithm_name except where the factory deliberately reuses another
+/// controller (kMpcOpt is plain MPC paired with the perfect predictor).
+std::string expected_controller_name(Algorithm algorithm) {
+  if (algorithm == Algorithm::kMpcOpt) return "MPC";
+  return algorithm_name(algorithm);
+}
 
 TEST(Algorithms, NamesAreStable) {
   EXPECT_STREQ(algorithm_name(Algorithm::kRateBased), "RB");
@@ -19,6 +29,23 @@ TEST(Algorithms, NamesAreStable) {
   EXPECT_STREQ(algorithm_name(Algorithm::kMpcOpt), "MPC-OPT");
   EXPECT_STREQ(algorithm_name(Algorithm::kDashJs), "dash.js");
   EXPECT_STREQ(algorithm_name(Algorithm::kFestive), "FESTIVE");
+  EXPECT_STREQ(algorithm_name(Algorithm::kBola), "BOLA");
+  EXPECT_STREQ(algorithm_name(Algorithm::kMpcDp), "MPC-DP");
+}
+
+TEST(Algorithms, RegistryCoversEveryAlgorithmExactlyOnce) {
+  const auto registered = registered_algorithms();
+  ASSERT_EQ(registered.size(), kAlgorithmCount);
+  for (std::size_t i = 0; i < registered.size(); ++i) {
+    EXPECT_EQ(static_cast<std::size_t>(registered[i]), i);
+    EXPECT_STRNE(algorithm_name(registered[i]), "?");
+  }
+  // The paper's comparison set is a strict subset of the registry.
+  for (const Algorithm algorithm : all_algorithms()) {
+    EXPECT_NE(std::find(registered.begin(), registered.end(), algorithm),
+              registered.end())
+        << algorithm_name(algorithm);
+  }
 }
 
 TEST(Algorithms, AllAlgorithmsListsPaperComparison) {
@@ -31,14 +58,11 @@ TEST(Algorithms, FactoryProducesMatchingControllerNames) {
   const auto qoe = testing::balanced_qoe();
   AlgorithmOptions options;
   options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
-  for (const Algorithm algorithm :
-       {Algorithm::kRateBased, Algorithm::kBufferBased, Algorithm::kFastMpc,
-        Algorithm::kRobustMpc, Algorithm::kMpc, Algorithm::kDashJs,
-        Algorithm::kFestive}) {
+  for (const Algorithm algorithm : registered_algorithms()) {
     const auto instance = make_algorithm(algorithm, manifest, qoe, options);
     ASSERT_NE(instance.controller, nullptr);
     ASSERT_NE(instance.predictor, nullptr);
-    EXPECT_EQ(instance.controller->name(), algorithm_name(algorithm));
+    EXPECT_EQ(instance.controller->name(), expected_controller_name(algorithm));
   }
 }
 
@@ -64,7 +88,9 @@ TEST(Algorithms, EveryAlgorithmCompletesASession) {
   const auto trace = trace::MarkovConfig{}.generate(rng, 320.0);
   AlgorithmOptions options;
   options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
-  for (const Algorithm algorithm : all_algorithms()) {
+  // Enumerate from the registry so a newly added policy cannot silently
+  // skip this end-to-end check.
+  for (const Algorithm algorithm : registered_algorithms()) {
     auto instance = make_algorithm(algorithm, manifest, qoe, options);
     const auto result = sim::simulate(trace, manifest, qoe, {},
                                       *instance.controller,
@@ -80,19 +106,26 @@ TEST(Algorithms, ControllersAreReusableAcrossSessions) {
   util::Rng rng(14);
   const auto manifest = media::VideoManifest::envivio_default();
   const auto qoe = testing::balanced_qoe();
-  auto instance = make_algorithm(Algorithm::kRobustMpc, manifest, qoe);
   const auto trace_a = trace::HsdpaLikeConfig{}.generate(rng, 320.0);
-  const auto first = sim::simulate(trace_a, manifest, qoe, {},
-                                   *instance.controller, *instance.predictor);
-  // Re-running the same trace must reproduce the same result exactly: the
-  // player resets the controller, so no state leaks across sessions.
-  const auto second = sim::simulate(trace_a, manifest, qoe, {},
-                                    *instance.controller, *instance.predictor);
-  ASSERT_EQ(first.chunks.size(), second.chunks.size());
-  for (std::size_t k = 0; k < first.chunks.size(); ++k) {
-    ASSERT_EQ(first.chunks[k].level, second.chunks[k].level) << "chunk " << k;
+  AlgorithmOptions options;
+  options.fastmpc_table = default_fastmpc_table(manifest, qoe, 30.0);
+  for (const Algorithm algorithm : registered_algorithms()) {
+    auto instance = make_algorithm(algorithm, manifest, qoe, options);
+    const auto first = sim::simulate(trace_a, manifest, qoe, {},
+                                     *instance.controller,
+                                     *instance.predictor);
+    // Re-running the same trace must reproduce the same result exactly: the
+    // player resets the controller, so no state leaks across sessions.
+    const auto second = sim::simulate(trace_a, manifest, qoe, {},
+                                      *instance.controller,
+                                      *instance.predictor);
+    ASSERT_EQ(first.chunks.size(), second.chunks.size());
+    for (std::size_t k = 0; k < first.chunks.size(); ++k) {
+      ASSERT_EQ(first.chunks[k].level, second.chunks[k].level)
+          << algorithm_name(algorithm) << " chunk " << k;
+    }
+    EXPECT_DOUBLE_EQ(first.qoe, second.qoe) << algorithm_name(algorithm);
   }
-  EXPECT_DOUBLE_EQ(first.qoe, second.qoe);
 }
 
 TEST(Algorithms, FastMpcReusesProvidedTable) {

@@ -1,0 +1,156 @@
+#include "core/bola.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "media/manifest.hpp"
+#include "sim/controller.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace abr::core {
+namespace {
+
+sim::AbrState state_at(double buffer_s, std::size_t chunk,
+                       const std::vector<double>& prediction) {
+  sim::AbrState state;
+  state.chunk_index = chunk;
+  state.buffer_s = buffer_s;
+  state.prediction_kbps = prediction;
+  state.playback_started = buffer_s > 0.0;
+  return state;
+}
+
+TEST(Bola, AutoParametersResolvePositive) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  const BolaController bola(manifest, qoe, {});
+  EXPECT_GT(bola.gamma_p(), 0.0);
+  EXPECT_GT(bola.lyapunov_v(), 0.0);
+  // Default threshold: two chunk durations.
+  EXPECT_DOUBLE_EQ(bola.low_buffer_threshold_s(),
+                   2.0 * manifest.chunk_duration_s());
+}
+
+TEST(Bola, EmptyBufferPicksLowestRung) {
+  // The auto gamma_p is chosen so that at Q = 0 the lowest rung wins
+  // strictly; use a huge forecast so the safety cap cannot be the reason.
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaController bola(manifest, qoe, {});
+  const std::vector<double> prediction(1, 1e9);
+  for (std::size_t chunk = 0; chunk < manifest.chunk_count(); chunk += 7) {
+    EXPECT_EQ(bola.decide(state_at(0.0, chunk, prediction), manifest), 0u);
+  }
+}
+
+TEST(Bola, NearFullBufferPicksTopRung) {
+  // V is calibrated so the top rung is uniquely optimal one chunk short of a
+  // full buffer (and stays optimal beyond).
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaConfig config;
+  config.buffer_capacity_s = 30.0;
+  BolaController bola(manifest, qoe, config);
+  const std::size_t top = manifest.level_count() - 1;
+  const std::vector<double> prediction(1, 1e9);
+  const double near_full = config.buffer_capacity_s -
+                           manifest.chunk_duration_s();
+  EXPECT_EQ(bola.decide(state_at(near_full, 3, prediction), manifest), top);
+  EXPECT_EQ(bola.decide(state_at(config.buffer_capacity_s, 3, prediction),
+                        manifest),
+            top);
+}
+
+TEST(Bola, ArgmaxMatchesBruteForceScore) {
+  // Recompute the published objective (V (v_m + gamma p) - Q) / S_m from the
+  // controller's own resolved parameters and check decide() maximizes it
+  // whenever the low-buffer cap is not in play.
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaController bola(manifest, qoe, {});
+  util::Rng rng(77);
+
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t chunk = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               manifest.chunk_count()) - 1));
+    const double buffer_s =
+        rng.uniform(bola.low_buffer_threshold_s(), 30.0);
+    const double q = buffer_s / manifest.chunk_duration_s();
+    std::size_t expected = 0;
+    double best = 0.0;
+    for (std::size_t level = 0; level < manifest.level_count(); ++level) {
+      const double utility = qoe.quality(manifest.bitrate_kbps(level)) -
+                             qoe.quality(manifest.bitrate_kbps(0));
+      const double score =
+          (bola.lyapunov_v() * (utility + bola.gamma_p()) - q) /
+          manifest.chunk_kilobits(chunk, level);
+      if (level == 0 || score > best) {
+        expected = level;
+        best = score;
+      }
+    }
+    const std::vector<double> prediction(1, rng.uniform(200.0, 5000.0));
+    EXPECT_EQ(bola.decide(state_at(buffer_s, chunk, prediction), manifest),
+              expected)
+        << "chunk " << chunk << " buffer " << buffer_s;
+  }
+}
+
+TEST(Bola, LowBufferCapBindsOnlyBelowThreshold) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaController bola(manifest, qoe, {});
+  // A forecast that sustains only the lowest rung.
+  const std::vector<double> weak(1, manifest.bitrate_kbps(0) + 1.0);
+
+  const double below = bola.low_buffer_threshold_s() * 0.5;
+  EXPECT_EQ(bola.decide(state_at(below, 5, weak), manifest), 0u);
+
+  // Above the threshold the cap vanishes: with a comfortable buffer, the
+  // Lyapunov argmax reaches above the sustainable rung.
+  const double above = 25.0;
+  EXPECT_GT(bola.decide(state_at(above, 5, weak), manifest), 0u);
+}
+
+TEST(Bola, ExplicitConfigOverridesAuto) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaConfig config;
+  config.gamma_p = 123.0;
+  config.low_buffer_threshold_s = 1.5;
+  const BolaController bola(manifest, qoe, config);
+  EXPECT_DOUBLE_EQ(bola.gamma_p(), 123.0);
+  EXPECT_DOUBLE_EQ(bola.low_buffer_threshold_s(), 1.5);
+}
+
+TEST(Bola, RejectsBadConfig) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaConfig zero_gamma;
+  zero_gamma.gamma_p = 0.0;
+  EXPECT_THROW(BolaController(manifest, qoe, zero_gamma),
+               std::invalid_argument);
+  BolaConfig bad_capacity;
+  bad_capacity.buffer_capacity_s = 0.0;
+  EXPECT_THROW(BolaController(manifest, qoe, bad_capacity),
+               std::invalid_argument);
+}
+
+TEST(Bola, DecideIsAPureFunctionOfState) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  BolaController bola(manifest, qoe, {});
+  const std::vector<double> prediction(1, 1400.0);
+  const auto state = state_at(12.0, 9, prediction);
+  const std::size_t first = bola.decide(state, manifest);
+  bola.reset();
+  EXPECT_EQ(bola.decide(state, manifest), first);
+  ASSERT_NE(bola.last_decision(), nullptr);
+  EXPECT_STREQ(bola.last_decision()->path, "rule");
+}
+
+}  // namespace
+}  // namespace abr::core

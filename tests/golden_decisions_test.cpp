@@ -16,8 +16,11 @@
 #include <string>
 
 #include "core/algorithms.hpp"
+#include "sim/chunk_source.hpp"
 #include "sim/player.hpp"
 #include "test_helpers.hpp"
+#include "testing/fault_plan.hpp"
+#include "testing/faulty_source.hpp"
 #include "trace/generators.hpp"
 
 #ifndef ABR_GOLDEN_DIR
@@ -112,6 +115,64 @@ TEST(GoldenDecisions, FastMpcIsBitExact) {
   core::AlgorithmOptions options;
   options.fastmpc_table = core::default_fastmpc_table(manifest, qoe, 30.0);
   check_golden(core::Algorithm::kFastMpc, "fastmpc", options);
+}
+
+TEST(GoldenDecisions, BolaIsBitExact) {
+  check_golden(core::Algorithm::kBola, "bola", {});
+}
+
+// BOLA's decision log must also be pinned under a fault storm: the faulty
+// delivery path perturbs buffer dynamics, so drift in either the controller
+// or the fault machinery shows up here. Two back-to-back runs must agree
+// byte-for-byte before either is compared against the committed golden.
+TEST(GoldenDecisions, BolaUnderFaultsIsBitExact) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = abr::testing::balanced_qoe();
+  const bool update = std::getenv("ABR_UPDATE_GOLDEN") != nullptr;
+
+  abr::testing::FaultPlan plan;
+  plan.seed = 97;
+  plan.latency_rate = 0.05;
+  plan.stall_rate = 0.05;
+  plan.partial_rate = 0.03;
+  plan.reset_rate = 0.03;
+  plan.http_error_rate = 0.04;
+
+  for (const auto& golden : golden_traces()) {
+    auto run_once = [&] {
+      auto instance =
+          core::make_algorithm(core::Algorithm::kBola, manifest, qoe, {});
+      sim::TraceChunkSource base(golden.trace, manifest);
+      abr::testing::FaultySource faulty(base, plan);
+      const sim::PlayerSession player(manifest, qoe, {});
+      return player.run(faulty, *instance.controller, *instance.predictor);
+    };
+    const std::string actual =
+        serialize("bola_faults", golden.key, run_once());
+    const std::string again =
+        serialize("bola_faults", golden.key, run_once());
+    ASSERT_EQ(actual, again)
+        << "BOLA under faults is non-deterministic on " << golden.key;
+
+    const std::string path = std::string(ABR_GOLDEN_DIR) + "/bola_faults_" +
+                             golden.key + ".txt";
+    if (update) {
+      std::ofstream out(path, std::ios::binary);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      continue;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << path
+        << " — regenerate with ABR_UPDATE_GOLDEN=1";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(expected.str(), actual)
+        << "BOLA-under-faults decision log drifted from " << path
+        << " — if the change is intentional, regenerate with "
+           "ABR_UPDATE_GOLDEN=1 and review the diff";
+  }
 }
 
 }  // namespace

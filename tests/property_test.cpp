@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/algorithms.hpp"
+#include "core/bola.hpp"
 #include "core/offline_optimal.hpp"
 #include "sim/player.hpp"
 #include "test_helpers.hpp"
@@ -116,7 +117,9 @@ INSTANTIATE_TEST_SUITE_P(
                           core::Algorithm::kFastMpc,
                           core::Algorithm::kRobustMpc,
                           core::Algorithm::kDashJs,
-                          core::Algorithm::kFestive),
+                          core::Algorithm::kFestive,
+                          core::Algorithm::kBola,
+                          core::Algorithm::kMpcDp),
         ::testing::Values(qoe::QoePreference::kBalanced,
                           qoe::QoePreference::kAvoidInstability,
                           qoe::QoePreference::kAvoidRebuffering)),
@@ -268,6 +271,67 @@ TEST(SessionMonotonicity, FasterLinkNeverHurtsAFixedPlan) {
     const auto fast = sim::simulate(trace.scaled(1.5), manifest, model, {},
                                     fast_controller, predictor);
     ASSERT_GE(fast.qoe, slow.qoe - 1e-9) << "trial " << trial;
+  }
+}
+
+/// BOLA's score is linear in the buffer level with slope -1/size, so the
+/// argmax can only move up the ladder as the buffer fills. Sweep a fine
+/// buffer grid at many (chunk, forecast) points and assert the decision is
+/// monotone non-decreasing.
+TEST(BolaInvariants, DecisionIsMonotoneInBufferLevel) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto model = testing::balanced_qoe();
+  core::BolaController bola(manifest, model, {});
+
+  util::Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    sim::AbrState state;
+    state.chunk_index = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const double forecast = rng.uniform(200.0, 5000.0);
+    const std::vector<double> prediction(1, forecast);
+    state.prediction_kbps = prediction;
+    state.has_prev = true;
+    state.prev_level = 0;
+    state.playback_started = true;
+
+    std::size_t previous = 0;
+    for (double buffer_s = 0.0; buffer_s <= 30.0; buffer_s += 0.25) {
+      state.buffer_s = buffer_s;
+      const std::size_t level = bola.decide(state, manifest);
+      ASSERT_GE(level, previous)
+          << "chunk " << state.chunk_index << " forecast " << forecast
+          << " buffer " << buffer_s;
+      previous = level;
+    }
+  }
+}
+
+/// Below the low-buffer threshold BOLA must never pick a rung above what the
+/// forecast can sustain in real time — the startup/panic guard that bounds
+/// rebuffering when the buffer cannot absorb a misprediction.
+TEST(BolaInvariants, NeverAboveSustainableRungWhenBufferLow) {
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto model = testing::balanced_qoe();
+  core::BolaController bola(manifest, model, {});
+  ASSERT_GT(bola.low_buffer_threshold_s(), 0.0);
+
+  util::Rng rng(56);
+  for (int trial = 0; trial < 200; ++trial) {
+    sim::AbrState state;
+    state.chunk_index = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    state.buffer_s = rng.uniform(0.0, bola.low_buffer_threshold_s() * 0.999);
+    const double forecast = rng.uniform(150.0, 6000.0);
+    const std::vector<double> prediction(1, forecast);
+    state.prediction_kbps = prediction;
+    state.has_prev = trial % 2 == 0;
+    state.prev_level = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(
+                               manifest.level_count()) - 1));
+    state.playback_started = state.has_prev;
+
+    const std::size_t level = bola.decide(state, manifest);
+    ASSERT_LE(level, manifest.highest_level_not_above(forecast))
+        << "buffer " << state.buffer_s << " forecast " << forecast;
   }
 }
 

@@ -1,0 +1,106 @@
+#include "testing/scenario_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "core/algorithms.hpp"
+
+namespace abr::testing {
+namespace {
+
+/// A matrix small enough for unit tests: two algorithms, one family of one
+/// trace, all three scenario kinds.
+MatrixConfig tiny_config() {
+  MatrixConfig config = MatrixConfig::smoke();
+  config.algorithms = {core::Algorithm::kRateBased,
+                       core::Algorithm::kBufferBased};
+  for (auto& family : config.families) {
+    family.count = 1;
+    family.duration_s = 160.0;
+  }
+  config.families.resize(1);
+  return config;
+}
+
+TEST(ScenarioMatrix, SmokeConfigCoversRegistryTimesFamiliesTimesScenarios) {
+  const MatrixConfig config = MatrixConfig::smoke();
+  EXPECT_TRUE(config.algorithms.empty());  // empty means the full registry
+  EXPECT_EQ(config.families.size(), 2u);
+  EXPECT_EQ(config.scenarios.size(), 3u);
+  const std::set<ScenarioKind> kinds = {config.scenarios[0].kind,
+                                        config.scenarios[1].kind,
+                                        config.scenarios[2].kind};
+  EXPECT_EQ(kinds.size(), 3u);
+}
+
+TEST(ScenarioMatrix, ProducesOneCellPerMatrixPoint) {
+  const MatrixConfig config = tiny_config();
+  const TournamentReport report = run_tournament(config);
+  ASSERT_EQ(report.cells.size(), 2u * 1u * 3u);
+  std::set<std::string> seen;
+  for (const CellResult& cell : report.cells) {
+    EXPECT_EQ(cell.sessions, 1u);
+    EXPECT_GT(cell.decide_calls, 0u);
+    EXPECT_NE(cell.decision_hash, 0u);
+    seen.insert(cell.algorithm + "/" + cell.family + "/" + cell.scenario);
+  }
+  EXPECT_EQ(seen.size(), report.cells.size());  // no duplicate cells
+}
+
+TEST(ScenarioMatrix, RankingCoversEveryAlgorithmSortedByQoe) {
+  const TournamentReport report = run_tournament(tiny_config());
+  ASSERT_EQ(report.ranking.size(), 2u);
+  EXPECT_GE(report.ranking[0].mean_qoe, report.ranking[1].mean_qoe);
+}
+
+TEST(ScenarioMatrix, ReportIsByteIdenticalAcrossRunsAndThreadCounts) {
+  MatrixConfig config = tiny_config();
+  const std::string first = run_tournament(config).to_json();
+  const std::string second = run_tournament(config).to_json();
+  EXPECT_EQ(first, second);
+  config.threads = 1;
+  EXPECT_EQ(run_tournament(config).to_json(), first);
+}
+
+TEST(ScenarioMatrix, ScenariosActuallyPerturbTheSessions) {
+  // The fault storm and the outage must change some algorithm's decision
+  // surface relative to clean — otherwise the scenario axis tests nothing.
+  const TournamentReport report = run_tournament(tiny_config());
+  auto hash_of = [&](const char* algorithm, const char* scenario) {
+    const auto it = std::find_if(
+        report.cells.begin(), report.cells.end(), [&](const CellResult& c) {
+          return c.algorithm == algorithm && c.scenario == scenario;
+        });
+    EXPECT_NE(it, report.cells.end());
+    return it->decision_hash;
+  };
+  EXPECT_NE(hash_of("RB", "clean"), hash_of("RB", "faults"));
+}
+
+TEST(ScenarioMatrix, JsonContainsEveryCellAndTableEveryAlgorithm) {
+  const TournamentReport report = run_tournament(tiny_config());
+  const std::string json = report.to_json();
+  const std::string table = report.to_table();
+  for (const CellResult& cell : report.cells) {
+    EXPECT_NE(json.find("\"algorithm\": \"" + cell.algorithm + "\""),
+              std::string::npos);
+  }
+  for (const AlgorithmRank& rank : report.ranking) {
+    EXPECT_NE(table.find(rank.algorithm), std::string::npos);
+  }
+}
+
+TEST(ScenarioMatrix, RejectsEmptyAxes) {
+  MatrixConfig no_families = tiny_config();
+  no_families.families.clear();
+  EXPECT_THROW(run_tournament(no_families), std::invalid_argument);
+  MatrixConfig no_scenarios = tiny_config();
+  no_scenarios.scenarios.clear();
+  EXPECT_THROW(run_tournament(no_scenarios), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abr::testing
