@@ -228,6 +228,10 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
           obs::kHttpBadRequestsTotal, obs::bad_request_label("method"))),
       bad_request_not_found_(&obs::MetricsRegistry::global().counter(
           obs::kHttpBadRequestsTotal, obs::bad_request_label("not_found"))),
+      bad_request_range_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpBadRequestsTotal, obs::bad_request_label("range"))),
+      range_requests_(&obs::MetricsRegistry::global().counter(
+          obs::kHttpRangeRequestsTotal, options_.metric_label)),
       request_latency_(&obs::MetricsRegistry::global().histogram(
           obs::kHttpRequestLatencyUs, options_.metric_label)),
       telemetry_metrics_requests_(&obs::MetricsRegistry::global().counter(
@@ -359,8 +363,35 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
     const double kilobits = manifest_->chunk_kilobits(number, level);
     const auto bytes = static_cast<std::size_t>(kilobits * 1000.0 / 8.0);
     response.headers.set("Content-Type", "video/iso.segment");
+    response.headers.set("Accept-Ranges", "bytes");
     // Deterministic filler payload; content is irrelevant to the transport.
     response.body.assign(bytes, static_cast<char>('A' + (number + level) % 26));
+    if (const std::string* range_header = request.headers.find("Range")) {
+      ByteRange range;
+      switch (parse_range_header(*range_header, bytes, range)) {
+        case RangeParse::kNone:
+          break;  // ignored per RFC 7233: the full body goes out as a 200
+        case RangeParse::kValid:
+          range_requests_->increment();
+          response.status = 206;
+          response.reason = "Partial Content";
+          response.headers.set(
+              "Content-Range", "bytes " + std::to_string(range.first) + "-" +
+                                   std::to_string(range.last) + "/" +
+                                   std::to_string(bytes));
+          response.body =
+              response.body.substr(range.first, range.last - range.first + 1);
+          break;
+        case RangeParse::kUnsatisfiable:
+          bad_request_range_->increment();
+          response.status = 416;
+          response.reason = "Range Not Satisfiable";
+          response.headers.set("Content-Range",
+                               "bytes */" + std::to_string(bytes));
+          response.body.clear();
+          break;
+      }
+    }
     return response;
   }
   bad_request_not_found_->increment();
@@ -443,7 +474,8 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       testing::FaultDecision fault;
       std::size_t level = 0;
       std::size_t number = 0;
-      if (injector_ != nullptr && response.status == 200 &&
+      if (injector_ != nullptr &&
+          (response.status == 200 || response.status == 206) &&
           parse_segment_path(request->target, level, number)) {
         fault = injector_->next(number);
       }

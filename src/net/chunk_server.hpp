@@ -235,6 +235,8 @@ class ChunkServer {
   obs::Counter* bad_request_malformed_;
   obs::Counter* bad_request_method_;
   obs::Counter* bad_request_not_found_;
+  obs::Counter* bad_request_range_;  ///< 416s (unsatisfiable Range)
+  obs::Counter* range_requests_;     ///< 206s served
   obs::Histogram* request_latency_;  ///< includes the shaped body send
   obs::Counter* telemetry_metrics_requests_;
   obs::Counter* telemetry_statusz_requests_;

@@ -56,6 +56,50 @@ bool parse_status_line(std::string_view line, HttpResponse& out) {
   return true;
 }
 
+RangeParse parse_range_header(std::string_view value, std::size_t size,
+                              ByteRange& out) {
+  std::string_view spec = util::trim(value);
+  if (!util::starts_with(spec, "bytes=")) return RangeParse::kNone;
+  spec.remove_prefix(6);
+  spec = util::trim(spec);
+  if (spec.find(',') != std::string_view::npos) {
+    // Multi-range: syntactically a bytes range, deliberately refused.
+    return RangeParse::kUnsatisfiable;
+  }
+  const std::size_t dash = spec.find('-');
+  if (dash == std::string_view::npos) return RangeParse::kNone;
+  const std::string_view left = util::trim(spec.substr(0, dash));
+  const std::string_view right = util::trim(spec.substr(dash + 1));
+
+  if (left.empty()) {
+    // Suffix form "bytes=-K": the final K bytes.
+    std::size_t suffix = 0;
+    if (right.empty() || !util::parse_size(right, suffix)) {
+      return RangeParse::kNone;
+    }
+    if (suffix == 0 || size == 0) return RangeParse::kUnsatisfiable;
+    out.first = size - std::min(suffix, size);
+    out.last = size - 1;
+    return RangeParse::kValid;
+  }
+
+  std::size_t first = 0;
+  if (!util::parse_size(left, first)) return RangeParse::kNone;
+  if (first >= size) return RangeParse::kUnsatisfiable;
+  if (right.empty()) {
+    // Open form "bytes=N-": everything from N (the resume shape).
+    out.first = first;
+    out.last = size - 1;
+    return RangeParse::kValid;
+  }
+  std::size_t last = 0;
+  if (!util::parse_size(right, last)) return RangeParse::kNone;
+  if (last < first) return RangeParse::kNone;  // malformed: ignored per RFC
+  out.first = first;
+  out.last = std::min(last, size - 1);
+  return RangeParse::kValid;
+}
+
 namespace {
 
 /// Parses "Name: value" header lines from a block (CRLF or LF separated).
@@ -238,9 +282,16 @@ void HttpClient::abort() {
 
 HttpResponse HttpClient::request(const std::string& target,
                                  const ProgressCallback& progress) {
+  return request(target, HttpHeaders{}, progress);
+}
+
+HttpResponse HttpClient::request(const std::string& target,
+                                 const HttpHeaders& extra_headers,
+                                 const ProgressCallback& progress) {
   HttpRequest http_request;
   http_request.method = "GET";
   http_request.target = target;
+  http_request.headers = extra_headers;
 
   // The connection object is created/destroyed under the mutex but the I/O
   // itself runs unlocked, so abort() can shut the socket down (failing the

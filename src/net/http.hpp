@@ -38,6 +38,31 @@ struct HttpResponse {
 /// Called as response body bytes arrive: (bytes_so_far, done).
 using ProgressCallback = std::function<void(std::size_t, bool)>;
 
+/// One inclusive byte range resolved against a known body size.
+struct ByteRange {
+  std::size_t first = 0;
+  std::size_t last = 0;  ///< inclusive; always < the body size
+};
+
+/// Outcome of resolving a Range request header.
+enum class RangeParse {
+  kNone,           ///< absent / not a bytes range / malformed — serve 200
+  kValid,          ///< resolved range — serve 206 with Content-Range
+  kUnsatisfiable,  ///< a bytes range the body cannot satisfy — serve 416
+                   ///< with "Content-Range: bytes */<size>"
+};
+
+/// Resolves an RFC 7233 "Range" header value against a body of `size`
+/// bytes. Single ranges only: multi-range requests (a comma in the spec)
+/// are rejected as unsatisfiable — a DASH client never issues them and the
+/// origin refuses to build multipart bodies. Open ("bytes=N-") and suffix
+/// ("bytes=-K") forms are supported; a resume offset equal to the body
+/// length is unsatisfiable (the 416 tells the client it already holds the
+/// whole chunk). Syntactically malformed specs return kNone, which per RFC
+/// means the header is ignored and the full body served.
+RangeParse parse_range_header(std::string_view value, std::size_t size,
+                              ByteRange& out);
+
 /// One HTTP/1.1 connection with persistent (keep-alive) semantics over a
 /// TcpStream. Handles request/response framing with Content-Length bodies —
 /// the subset a DASH origin needs. Malformed peers raise
@@ -116,6 +141,13 @@ class HttpClient {
   /// attempt to be visible). On any thrown error the connection is dropped,
   /// so the next call reconnects.
   HttpResponse request(const std::string& target,
+                       const ProgressCallback& progress = nullptr)
+      ABR_EXCLUDES(mutex_);
+
+  /// As above, with caller-supplied request headers (range resumes send
+  /// "Range: bytes=N-" this way).
+  HttpResponse request(const std::string& target,
+                       const HttpHeaders& extra_headers,
                        const ProgressCallback& progress = nullptr)
       ABR_EXCLUDES(mutex_);
 

@@ -1,5 +1,6 @@
 #include "net/streaming_client.hpp"
 
+#include <atomic>
 #include <cerrno>
 #include <cmath>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 #include "obs/names.hpp"
 #include "obs/span.hpp"
 #include "util/mutex.hpp"
+#include "util/strings.hpp"
 
 namespace abr::net {
 
@@ -27,6 +29,152 @@ bool is_timeout(const std::system_error& error) {
 std::string segment_target(std::size_t chunk, std::size_t level) {
   return "/video/" + std::to_string(level) + "/seg-" + std::to_string(chunk) +
          ".m4s";
+}
+
+/// Extracts the first-byte position from "Content-Range: bytes F-L/N".
+bool parse_content_range_start(const std::string& value, std::size_t& first) {
+  std::string_view v = util::trim(value);
+  if (!util::starts_with(v, "bytes ")) return false;
+  v.remove_prefix(6);
+  const std::size_t dash = v.find('-');
+  if (dash == std::string_view::npos) return false;
+  return util::parse_size(util::trim(v.substr(0, dash)), first);
+}
+
+/// One sub-chunk GET attempt under the abort monitor.
+struct ControlledAttempt {
+  enum class Status { kComplete, kAborted, kFailed };
+  Status status = Status::kFailed;
+  std::size_t have_bytes = 0;      ///< valid prefix after this attempt
+  std::size_t received_bytes = 0;  ///< bytes that landed during it
+  bool resumed = false;            ///< a Range request was issued
+};
+
+/// GETs `target` with a range resume from `have_bytes` and a wall-clock
+/// watchdog translating the FetchControl deadline projection into real time
+/// (session seconds = wall seconds * speedup). The watchdog cancels the
+/// request via HttpClient::abort() — the caller must treat that outcome as
+/// self-inflicted (no breaker report, no failure count).
+ControlledAttempt controlled_attempt(HttpClient& client,
+                                     const std::string& target,
+                                     std::size_t have_bytes,
+                                     std::size_t total_bytes,
+                                     const sim::FetchControl& control,
+                                     double speedup) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.counter(obs::kHttpRequestsTotal, "side=\"client\"").increment();
+
+  ControlledAttempt result;
+  result.have_bytes = have_bytes;
+
+  HttpHeaders headers;
+  if (have_bytes > 0) {
+    headers.set("Range", "bytes=" + std::to_string(have_bytes) + "-");
+    result.resumed = true;
+    registry.counter(obs::kHttpRangeRequestsTotal, "side=\"client\"")
+        .increment();
+  }
+
+  std::atomic<std::size_t> received{0};
+  std::atomic<bool> done{false};
+  std::atomic<bool> self_abort{false};
+
+  std::thread watchdog;
+  if (control.abort_enabled && control.check_interval_s > 0.0) {
+    watchdog = std::thread([&] {
+      const auto start = std::chrono::steady_clock::now();
+      const auto interval =
+          std::chrono::duration<double>(control.check_interval_s / speedup);
+      const auto goal_bytes = static_cast<double>(total_bytes - have_bytes);
+      while (!done.load()) {
+        std::this_thread::sleep_for(interval);
+        if (done.load()) break;
+        const double elapsed_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count() *
+            speedup;
+        if (elapsed_s < control.min_observation_s) continue;
+        const auto done_bytes = static_cast<double>(received.load());
+        const double rate = done_bytes / elapsed_s;  // bytes per session-s
+        const double remaining = goal_bytes - done_bytes;
+        const double cushion =
+            std::max(0.0, control.buffer_s - elapsed_s);
+        if (rate <= 0.0 || remaining / rate > cushion + control.max_stall_s) {
+          self_abort.store(true);
+          client.abort();
+          break;
+        }
+      }
+    });
+  }
+  const auto finish_watchdog = [&] {
+    done.store(true);
+    if (watchdog.joinable()) watchdog.join();
+  };
+
+  try {
+    const HttpResponse response = client.request(
+        target, headers,
+        [&received](std::size_t bytes_so_far, bool) {
+          received.store(bytes_so_far);
+        });
+    finish_watchdog();
+    if (response.status == 206) {
+      std::size_t first = 0;
+      const std::string* content_range =
+          response.headers.find("Content-Range");
+      if (content_range != nullptr &&
+          parse_content_range_start(*content_range, first) &&
+          first == have_bytes) {
+        result.received_bytes = response.body.size();
+        result.have_bytes =
+            std::min(have_bytes + response.body.size(), total_bytes);
+        if (result.have_bytes >= total_bytes) {
+          result.status = ControlledAttempt::Status::kComplete;
+        }
+      }
+      // A 206 from the wrong offset is discarded: credit unchanged, the
+      // attempt reads as failed and the retry loop reissues the range.
+    } else if (response.status == 200) {
+      // Origin ignored (or never saw) the range: the full body replaces
+      // whatever prefix we held.
+      result.received_bytes = response.body.size();
+      result.have_bytes = std::min(response.body.size(), total_bytes);
+      if (result.have_bytes >= total_bytes) {
+        result.status = ControlledAttempt::Status::kComplete;
+      }
+    } else if (response.status == 416 && have_bytes >= total_bytes) {
+      // Resume offset == body length: the origin is telling us we already
+      // hold the whole chunk.
+      result.status = ControlledAttempt::Status::kComplete;
+    } else if (response.status >= 300 && response.status < 500) {
+      throw std::runtime_error("HTTP GET " + target + " -> " +
+                               std::to_string(response.status));
+    }
+    // Other statuses (5xx, unexpected 416): retryable failure.
+  } catch (const std::system_error& error) {
+    finish_watchdog();
+    const std::size_t landed = received.load();
+    result.received_bytes = landed;
+    result.have_bytes = std::min(have_bytes + landed, total_bytes);
+    if (self_abort.load()) {
+      result.status = ControlledAttempt::Status::kAborted;
+    } else if (is_timeout(error)) {
+      registry.counter(obs::kFetchTimeoutsTotal).increment();
+    }
+  } catch (const std::invalid_argument&) {
+    // Truncated mid-body (or the watchdog's shutdown surfaced as framing):
+    // the landed prefix stays valid under range resume.
+    finish_watchdog();
+    const std::size_t landed = received.load();
+    result.received_bytes = landed;
+    result.have_bytes = std::min(have_bytes + landed, total_bytes);
+    if (self_abort.load()) {
+      result.status = ControlledAttempt::Status::kAborted;
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -123,6 +271,91 @@ sim::FetchOutcome HttpChunkSource::fetch(std::size_t chunk,
       fetch_with_retries(target, start_session_s, burned);
   latency.stop();
   return outcome;
+}
+
+sim::FetchOutcome HttpChunkSource::fetch_controlled(
+    std::size_t chunk, std::size_t level, const sim::FetchControl& control) {
+  const std::string target = segment_target(chunk, level);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::LatencyTimer latency(&registry.histogram(obs::kHttpFetchLatencyUs));
+  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
+  obs::Counter& failures_total =
+      registry.counter(obs::kFetchAttemptFailuresTotal);
+  obs::Counter& failovers_total = registry.counter(obs::kOriginFailoversTotal);
+
+  const double total_kb = manifest_->chunk_kilobits(chunk, level);
+  const auto total_bytes = static_cast<std::size_t>(total_kb * 1000.0 / 8.0);
+  // Resume credit in whole bytes, rounded down — never claim an undelivered
+  // byte.
+  std::size_t have_bytes = std::min(
+      static_cast<std::size_t>(control.resume_from_kilobits * 125.0),
+      total_bytes);
+  std::size_t transferred_bytes = 0;
+
+  const double start_session_s = now();
+  sim::FetchOutcome outcome;
+  outcome.attempts = 0;
+  outcome.origin = current_origin_;
+
+  const auto finish = [&](bool failed, bool aborted) {
+    outcome.failed = failed;
+    outcome.aborted = aborted;
+    outcome.kilobits = static_cast<double>(transferred_bytes) * 8.0 / 1000.0;
+    outcome.delivered_kilobits =
+        static_cast<double>(have_bytes) * 8.0 / 1000.0;
+    outcome.duration_s = std::max(now() - start_session_s, 1e-6);
+    outcome.origin = current_origin_;
+    latency.stop();
+    return outcome;
+  };
+
+  // Hedging is deliberately bypassed in controlled mode: an aborted hedge
+  // leg is indistinguishable from a lost race, and the deadline monitor
+  // already bounds tail latency.
+  const std::size_t budget = retry_.max_attempts * clients_.size();
+  std::size_t consecutive_failures = 0;
+  while (outcome.attempts < budget) {
+    if (have_bytes >= total_bytes) return finish(false, false);
+    ++outcome.attempts;
+    const std::optional<std::size_t> origin = pool_.acquire(current_origin_);
+    if (!origin.has_value()) {
+      failures_total.increment();
+    } else {
+      if (*origin != current_origin_) {
+        ++failovers_;
+        failovers_total.increment();
+        current_origin_ = *origin;
+      }
+      const ControlledAttempt result = controlled_attempt(
+          *clients_[*origin], target, have_bytes, total_bytes, control,
+          speedup_);
+      have_bytes = result.have_bytes;
+      transferred_bytes += result.received_bytes;
+      if (result.resumed) ++outcome.resumes;
+      switch (result.status) {
+        case ControlledAttempt::Status::kComplete:
+          pool_.report_success(*origin);
+          return finish(false, false);
+        case ControlledAttempt::Status::kAborted:
+          // Self-inflicted: the breaker must not open on it and it is not
+          // an attempt failure.
+          return finish(false, true);
+        case ControlledAttempt::Status::kFailed:
+          pool_.report_failure(*origin);
+          failures_total.increment();
+          break;
+      }
+    }
+    ++consecutive_failures;
+    if (outcome.attempts < budget) {
+      retries_total.increment();
+      const double backoff_s =
+          retry_.backoff_s(consecutive_failures, jitter_rng_);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(backoff_s / speedup_));
+    }
+  }
+  return finish(/*failed=*/have_bytes < total_bytes, false);
 }
 
 sim::FetchOutcome HttpChunkSource::fetch_with_retries(

@@ -81,6 +81,18 @@ class HttpChunkSource final : public sim::ChunkSource {
                   FailoverOptions failover = {});
 
   sim::FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
+
+  /// Sub-chunk transfer over real HTTP: a resume credit turns into a
+  /// "Range: bytes=N-" request (206 verified against Content-Range; a 416
+  /// at a full offset means the chunk is already complete), and the abort
+  /// monitor runs as a wall-clock watchdog thread that cancels the in-flight
+  /// request via HttpClient::abort() when the projected completion implies a
+  /// stall. Self-inflicted aborts are never reported to the circuit breaker
+  /// and are not counted as attempt failures. Hedged startup is bypassed in
+  /// controlled mode (an aborted hedge is indistinguishable from a loss).
+  sim::FetchOutcome fetch_controlled(std::size_t chunk, std::size_t level,
+                                     const sim::FetchControl& control) override;
+  bool supports_range() const override { return true; }
   void wait(double seconds) override;
   double now() const override;
 

@@ -162,6 +162,10 @@ void Journal::chunk(const ChunkJournalEntry& entry) {
   line.integer("faults", entry.faults);
   line.boolean("degraded", entry.degraded);
   line.boolean("skipped", entry.skipped);
+  line.boolean("aborted", entry.aborted);
+  line.boolean("partial", entry.partial);
+  line.number("wasted_kb", entry.wasted_kb);
+  line.integer("resumed_from_byte", entry.resumed_from_byte);
   write_line(line.finish());
 }
 
@@ -185,6 +189,10 @@ void Journal::session(const SessionJournalEntry& entry) {
   line.integer("skipped", entry.skipped_chunks);
   line.integer("attempts", entry.attempts);
   line.integer("faults", entry.faults);
+  line.integer("aborted", entry.aborted_chunks);
+  line.integer("partial", entry.partial_chunks);
+  line.integer("resumes", entry.resumes);
+  line.number("wasted_kb", entry.wasted_kb);
   write_line(line.finish());
 }
 

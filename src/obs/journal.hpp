@@ -63,6 +63,12 @@ struct ChunkJournalEntry {
   std::size_t faults = 0;  ///< faults/attempt failures hit by this fetch
   bool degraded = false;
   bool skipped = false;
+
+  // Sub-chunk delivery (zero/false outside an abort policy).
+  bool aborted = false;   ///< a transfer was cancelled by the abort monitor
+  bool partial = false;   ///< only a prefix of the chunk was played
+  double wasted_kb = 0.0; ///< delivered kilobits discarded by aborts/switches
+  std::size_t resumed_from_byte = 0;  ///< last range-resume offset (0 = none)
 };
 
 /// One journal line per finished session: totals plus the startup charge
@@ -87,6 +93,12 @@ struct SessionJournalEntry {
   std::size_t skipped_chunks = 0;
   std::size_t attempts = 0;
   std::size_t faults = 0;
+
+  // Sub-chunk delivery aggregates (zero outside an abort policy).
+  std::size_t aborted_chunks = 0;
+  std::size_t partial_chunks = 0;
+  std::size_t resumes = 0;
+  double wasted_kb = 0.0;
 };
 
 /// Escapes `text` for use inside a JSON string literal.

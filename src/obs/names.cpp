@@ -63,9 +63,14 @@ void register_standard_metrics(MetricsRegistry& registry) {
   registry.counter(kHedgeWinsTotal);
   registry.gauge(kHttpPeakConnections);
   registry.counter(kDrainForcedClosesTotal);
-  for (const char* reason : {"malformed", "method", "not_found"}) {
+  for (const char* reason : {"malformed", "method", "not_found", "range"}) {
     registry.counter(kHttpBadRequestsTotal, bad_request_label(reason));
   }
+  registry.counter(kChunksAbortedTotal);
+  registry.counter(kChunksPartialTotal);
+  registry.counter(kWastedKilobitsTotal);
+  registry.counter(kRangeResumesTotal);
+  registry.counter(kHttpRangeRequestsTotal);
   for (const char* endpoint : {"/metrics", "/statusz"}) {
     registry.counter(kTelemetryRequestsTotal,
                      telemetry_endpoint_label(endpoint));

@@ -67,6 +67,17 @@ inline constexpr char kHttpPeakConnections[] = "abr_http_peak_connections";
 inline constexpr char kDrainForcedClosesTotal[] =
     "abr_server_drain_forced_closes_total";
 
+// Sub-chunk delivery: mid-chunk abort/re-decide, range resume, partial
+// playback (sim/, net/). Wasted kilobits are bytes that flowed but were
+// discarded (aborted suffixes, prefix credit lost to a level switch) — the
+// honest cost of acting inside a chunk.
+inline constexpr char kChunksAbortedTotal[] = "abr_chunks_aborted_total";
+inline constexpr char kChunksPartialTotal[] = "abr_chunks_partial_total";
+inline constexpr char kWastedKilobitsTotal[] = "abr_wasted_kilobits_total";
+inline constexpr char kRangeResumesTotal[] = "abr_range_resumes_total";
+inline constexpr char kHttpRangeRequestsTotal[] =
+    "abr_http_range_requests_total";
+
 // Live telemetry plane (net/telemetry, obs/journal, sim/fleet_series).
 inline constexpr char kTelemetryRequestsTotal[] =
     "abr_telemetry_requests_total";

@@ -33,6 +33,60 @@ FetchOutcome TraceChunkSource::fetch(std::size_t chunk, std::size_t level) {
   return outcome;
 }
 
+FetchOutcome TraceChunkSource::fetch_controlled(std::size_t chunk,
+                                                std::size_t level,
+                                                const FetchControl& control) {
+  const double total_kb = manifest_->chunk_kilobits(chunk, level);
+  const double resume_kb =
+      std::clamp(control.resume_from_kilobits, 0.0, total_kb);
+  double goal_kb = total_kb - resume_kb;
+  if (control.truncate_after_fraction < 1.0) {
+    goal_kb *= std::max(0.0, control.truncate_after_fraction);
+  }
+
+  FetchOutcome outcome;
+  if (goal_kb <= 0.0) {
+    outcome.delivered_kilobits = resume_kb;
+    return outcome;  // the resume credit already covers the chunk
+  }
+
+  const double start_s = now_s_;
+  const double end_s = trace_->transfer_end_time(goal_kb, start_s);
+  if (resume_kb > 0.0) outcome.resumes = 1;
+  if (control.abort_enabled && control.check_interval_s > 0.0) {
+    // Deterministic deadline monitor: walk fixed checkpoints through the
+    // transfer and project its completion from the delivered-so-far rate.
+    // Abort when the projection says the remaining bytes arrive later than
+    // the playback cushion plus the tolerated stall — the virtual-time
+    // equivalent of cancelling the socket mid-body.
+    for (double t = start_s + control.check_interval_s; t < end_s;
+         t += control.check_interval_s) {
+      const double elapsed = t - start_s;
+      if (elapsed < control.min_observation_s) continue;
+      const double done_kb = trace_->kilobits_between(start_s, t);
+      const double remaining_kb = goal_kb - done_kb;
+      const double rate_kbps = done_kb / elapsed;
+      const double cushion_s = std::max(0.0, control.buffer_s - elapsed);
+      const bool stall_projected =
+          rate_kbps <= 0.0 ||
+          remaining_kb / rate_kbps > cushion_s + control.max_stall_s;
+      if (stall_projected) {
+        outcome.aborted = true;
+        outcome.duration_s = elapsed;
+        outcome.kilobits = done_kb;
+        outcome.delivered_kilobits = resume_kb + done_kb;
+        now_s_ = t;
+        return outcome;
+      }
+    }
+  }
+  outcome.duration_s = end_s - start_s;
+  outcome.kilobits = goal_kb;
+  outcome.delivered_kilobits = resume_kb + goal_kb;
+  now_s_ = end_s;
+  return outcome;
+}
+
 void TraceChunkSource::wait(double seconds) {
   assert(seconds >= 0.0);
   now_s_ += seconds;

@@ -23,6 +23,42 @@ struct FetchOutcome {
                              ///< chunk; 0 for single-origin sources
   std::size_t faults = 0;    ///< injected faults / failed attempts hit by
                              ///< this fetch (delivery provenance)
+
+  // Sub-chunk delivery (fetch_controlled only; fetch() leaves these zero).
+  bool aborted = false;  ///< the mid-chunk abort monitor cancelled the
+                         ///< transfer; delivered_kilobits holds the prefix
+  double delivered_kilobits = 0.0;  ///< cumulative valid prefix of the chunk
+                                    ///< (resume credit + bytes delivered by
+                                    ///< this call), even when failed/aborted
+  std::size_t resumes = 0;  ///< transfers issued with a nonzero range-resume
+                            ///< offset instead of refetching from byte 0
+};
+
+/// Sub-chunk delivery controls for ChunkSource::fetch_controlled. The
+/// defaults make the call behave exactly like fetch().
+struct FetchControl {
+  /// Valid prefix of the chunk already delivered (range-resume credit, in
+  /// kilobits at the requested level): the source transfers only the
+  /// remaining suffix. Only honoured when supports_range() is true.
+  double resume_from_kilobits = 0.0;
+
+  /// Deliver at most this fraction of the remaining payload, then return
+  /// with the prefix intact — the virtual-time model of a truncated body
+  /// whose bytes stay useful under range resume (the fault injector's
+  /// partial-body kind). 1.0 = complete the transfer.
+  double truncate_after_fraction = 1.0;
+
+  /// Mid-chunk abort monitor (the sub-chunk deadline watch). When enabled,
+  /// the source evaluates deterministic checkpoints every check_interval_s;
+  /// once min_observation_s of transfer has elapsed it projects the
+  /// remaining transfer time from the delivered-so-far rate and aborts when
+  /// the projection implies a stall longer than max_stall_s beyond the
+  /// playback cushion it was given.
+  bool abort_enabled = false;
+  double buffer_s = 0.0;           ///< playback cushion at transfer start
+  double max_stall_s = 1.0;        ///< tolerated projected stall
+  double min_observation_s = 1.0;  ///< monitor warm-up before any abort
+  double check_interval_s = 0.25;  ///< checkpoint spacing
 };
 
 /// Transport retry semantics shared by the real-HTTP client and the
@@ -60,6 +96,21 @@ class ChunkSource {
   /// real time) until complete.
   virtual FetchOutcome fetch(std::size_t chunk, std::size_t level) = 0;
 
+  /// Sub-chunk transfer: honours range-resume credit and the mid-chunk abort
+  /// monitor described by `control`. The base implementation ignores
+  /// `control` and forwards to fetch() — correct for sources without range
+  /// support; the player only passes a non-trivial control when
+  /// supports_range() is true.
+  virtual FetchOutcome fetch_controlled(std::size_t chunk, std::size_t level,
+                                        const FetchControl& control) {
+    (void)control;
+    return fetch(chunk, level);
+  }
+
+  /// True when fetch_controlled honours FetchControl::resume_from_kilobits
+  /// (HTTP Range on the wire; suffix-only transfers in virtual time).
+  virtual bool supports_range() const { return false; }
+
   /// Passes `seconds` of session time without transferring (buffer-full
   /// waits).
   virtual void wait(double seconds) = 0;
@@ -81,6 +132,9 @@ class TraceChunkSource final : public ChunkSource {
                    const media::VideoManifest& manifest);
 
   FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
+  FetchOutcome fetch_controlled(std::size_t chunk, std::size_t level,
+                                const FetchControl& control) override;
+  bool supports_range() const override { return true; }
   void wait(double seconds) override;
   double now() const override { return now_s_; }
   const trace::ThroughputTrace* truth() const override { return trace_; }

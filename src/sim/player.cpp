@@ -58,6 +58,10 @@ SessionResult PlayerSession::run(ChunkSource& source,
   obs::Counter& wait_total = registry.counter(obs::kWaitSecondsTotal);
   obs::Counter& degraded_total = registry.counter(obs::kChunksDegradedTotal);
   obs::Counter& skipped_total = registry.counter(obs::kChunksSkippedTotal);
+  obs::Counter& aborted_total = registry.counter(obs::kChunksAbortedTotal);
+  obs::Counter& partial_total = registry.counter(obs::kChunksPartialTotal);
+  obs::Counter& wasted_total = registry.counter(obs::kWastedKilobitsTotal);
+  obs::Counter& resumes_total = registry.counter(obs::kRangeResumesTotal);
   obs::Counter& sessions_total = registry.counter(obs::kSessionsTotal);
   obs::Gauge& buffer_gauge = registry.gauge(obs::kBufferLevelSeconds);
   obs::Histogram& download_hist =
@@ -132,25 +136,31 @@ SessionResult PlayerSession::run(ChunkSource& source,
     state.prediction_kbps = predictions;
     state.now_s = now;
     state.playback_started = playing;
-    std::size_t level = 0;
-    if (time_decisions) {
-      const auto t0 = std::chrono::steady_clock::now();
-      level = controller.decide(state, manifest);
-      const double decide_us = std::chrono::duration<double, std::micro>(
-                                   std::chrono::steady_clock::now() - t0)
-                                   .count();
-      decide_hist.observe(decide_us);
-      if (tracer != nullptr) {
-        tracer->complete("decide", "controller", now, decide_us * 1e-6, track,
-                         {{"chunk", k}, {"level", level}});
+    // Runs controller.decide() with timing/trace instrumentation; shared by
+    // the per-chunk decision and any mid-chunk re-decides.
+    const auto timed_decide = [&](const AbrState& st) {
+      std::size_t lvl = 0;
+      if (time_decisions) {
+        const auto t0 = std::chrono::steady_clock::now();
+        lvl = controller.decide(st, manifest);
+        const double decide_us = std::chrono::duration<double, std::micro>(
+                                     std::chrono::steady_clock::now() - t0)
+                                     .count();
+        decide_hist.observe(decide_us);
+        if (tracer != nullptr) {
+          tracer->complete("decide", "controller", st.now_s, decide_us * 1e-6,
+                           track, {{"chunk", k}, {"level", lvl}});
+        }
+      } else {
+        lvl = controller.decide(st, manifest);
       }
-    } else {
-      level = controller.decide(state, manifest);
-    }
-    if (level >= manifest.level_count()) {
-      throw std::logic_error("controller '" + controller.name() +
-                             "' returned an out-of-range ladder index");
-    }
+      if (lvl >= manifest.level_count()) {
+        throw std::logic_error("controller '" + controller.name() +
+                               "' returned an out-of-range ladder index");
+      }
+      return lvl;
+    };
+    std::size_t level = timed_decide(state);
     // Snapshot decision telemetry now — the pointee is invalidated by the
     // next decide()/reset().
     DecisionTelemetry decision_telemetry;
@@ -168,21 +178,114 @@ SessionResult PlayerSession::run(ChunkSource& source,
     record.buffer_before_s = buffer_s;
     record.predicted_kbps = predictions.empty() ? 0.0 : predictions.front();
 
-    FetchOutcome outcome = source.fetch(k, level);
+    const bool abort_active =
+        config_.abort_policy.enabled && source.supports_range();
+    FetchOutcome outcome;
     bool degraded = false;
-    if (outcome.failed && config_.degrade_on_failure && level != 0) {
-      // Graceful degradation: the chosen level failed every attempt, so
-      // fall back to the lowest rung before giving up on the chunk.
-      degraded = true;
-      level = 0;
-      record.level = 0;
-      record.bitrate_kbps = manifest.bitrate_kbps(0);
-      record.size_kilobits = manifest.chunk_kilobits(k, 0);
-      FetchOutcome fallback = source.fetch(k, 0);
-      fallback.duration_s += outcome.duration_s;
-      fallback.attempts += outcome.attempts;
-      fallback.faults += outcome.faults;
-      outcome = fallback;
+    bool partial = false;
+    double played_fraction = 1.0;
+    if (!abort_active) {
+      outcome = source.fetch(k, level);
+      if (outcome.failed && config_.degrade_on_failure && level != 0) {
+        // Graceful degradation: the chosen level failed every attempt, so
+        // fall back to the lowest rung before giving up on the chunk.
+        degraded = true;
+        level = 0;
+        record.level = 0;
+        record.bitrate_kbps = manifest.bitrate_kbps(0);
+        record.size_kilobits = manifest.chunk_kilobits(k, 0);
+        FetchOutcome fallback = source.fetch(k, 0);
+        fallback.duration_s += outcome.duration_s;
+        fallback.attempts += outcome.attempts;
+        fallback.faults += outcome.faults;
+        outcome = fallback;
+      }
+    } else {
+      // Sub-chunk delivery: the transfer runs under the deadline monitor.
+      // On abort the controller re-decides at a strictly lower rung and the
+      // next transfer range-resumes from the delivered prefix (prefixes are
+      // assumed aligned across the ladder, so the credit is re-expressed as
+      // the same fraction of the new rung's size — DESIGN §12). A failure
+      // at the last rung with a delivered prefix becomes a partial chunk:
+      // the prefix plays, only the missing suffix is charged as a stall.
+      const double buffer_at_start = buffer_s;
+      std::size_t cur_level = level;
+      double fraction_done = 0.0;   // delivered fraction of the chunk
+      double elapsed = 0.0;
+      double transferred_kb = 0.0;  // every bit that flowed, waste included
+      outcome.attempts = 0;
+      for (;;) {
+        const double size_kb = manifest.chunk_kilobits(k, cur_level);
+        FetchControl control;
+        control.resume_from_kilobits = fraction_done * size_kb;
+        control.abort_enabled = playing && cur_level > 0;
+        control.buffer_s = std::max(0.0, buffer_at_start - elapsed);
+        control.max_stall_s = config_.abort_policy.max_stall_s;
+        control.min_observation_s = config_.abort_policy.min_observation_s;
+        control.check_interval_s = config_.abort_policy.check_interval_s;
+        if (control.resume_from_kilobits > 0.0) {
+          record.resumed_from_byte = static_cast<std::size_t>(
+              std::llround(control.resume_from_kilobits * 125.0));
+        }
+        const FetchOutcome att = source.fetch_controlled(k, cur_level, control);
+        elapsed += att.duration_s;
+        transferred_kb += att.kilobits;
+        outcome.attempts += att.attempts;
+        outcome.faults += att.faults;
+        outcome.origin = att.origin;
+        record.resumes += att.resumes;
+        fraction_done = size_kb > 0.0
+                            ? std::min(att.delivered_kilobits / size_kb, 1.0)
+                            : 1.0;
+        if (att.aborted) {
+          record.aborted = true;
+          // Re-decide with the post-abort buffer; mid-chunk the throughput
+          // history is unchanged, so the forecast vector is reused.
+          AbrState restate = state;
+          restate.buffer_s = std::max(0.0, buffer_at_start - elapsed);
+          restate.now_s = source.now();
+          const std::size_t decided = timed_decide(restate);
+          const std::size_t next_level = std::min(decided, cur_level - 1);
+          record.wasted_kilobits +=
+              att.delivered_kilobits -
+              fraction_done * manifest.chunk_kilobits(k, next_level);
+          cur_level = next_level;
+          continue;
+        }
+        if (att.failed) {
+          if (config_.degrade_on_failure && cur_level != 0) {
+            degraded = true;
+            record.wasted_kilobits +=
+                att.delivered_kilobits -
+                fraction_done * manifest.chunk_kilobits(k, 0);
+            cur_level = 0;
+            continue;
+          }
+          outcome.failed = true;
+          break;
+        }
+        break;  // delivered in full
+      }
+      outcome.duration_s = std::max(elapsed, 1e-9);
+      outcome.kilobits = transferred_kb;
+      level = cur_level;
+      record.level = cur_level;
+      record.bitrate_kbps = manifest.bitrate_kbps(cur_level);
+      record.size_kilobits =
+          fraction_done * manifest.chunk_kilobits(k, cur_level);
+      if (outcome.failed && fraction_done > 0.0) {
+        // Third degradation rung: play the delivered prefix.
+        partial = true;
+        played_fraction = fraction_done;
+        outcome.failed = false;
+      }
+      if (record.aborted || partial) {
+        // The re-decide (or the truncation) may have changed the solver
+        // telemetry; snapshot the final state for the journal.
+        if (const DecisionTelemetry* t = controller.last_decision()) {
+          decision_telemetry = *t;
+        }
+      }
     }
     const bool skipped = outcome.failed;
     if (skipped) {
@@ -194,6 +297,7 @@ SessionResult PlayerSession::run(ChunkSource& source,
     record.faults = outcome.faults;
     record.degraded = degraded;
     record.skipped = skipped;
+    record.partial = partial;
     assert(outcome.duration_s > 0.0);
     record.download_s = outcome.duration_s;
     record.throughput_kbps =
@@ -214,6 +318,11 @@ SessionResult PlayerSession::run(ChunkSource& source,
       // The chunk never arrived: the viewer loses its whole duration, which
       // Eq. (5) charges as a stall (skip-with-rebuffer accounting).
       rebuffer_s += chunk_duration;
+    } else if (partial) {
+      // Partial chunk: the delivered prefix plays; the missing suffix is a
+      // stall Eq. (5) pays for.
+      buffer_s += played_fraction * chunk_duration;
+      rebuffer_s += (1.0 - played_fraction) * chunk_duration;
     } else {
       buffer_s += chunk_duration;
     }
@@ -268,6 +377,12 @@ SessionResult PlayerSession::run(ChunkSource& source,
     wait_total.increment(wait_s);
     if (degraded) degraded_total.increment();
     if (skipped) skipped_total.increment();
+    if (record.aborted) aborted_total.increment();
+    if (partial) partial_total.increment();
+    if (record.wasted_kilobits > 0.0)
+      wasted_total.increment(record.wasted_kilobits);
+    if (record.resumes > 0)
+      resumes_total.increment(static_cast<double>(record.resumes));
     download_hist.observe(record.download_s);
     buffer_gauge.set(buffer_s);
     if (tracer != nullptr) {
@@ -293,6 +408,12 @@ SessionResult PlayerSession::run(ChunkSource& source,
       }
       if (skipped) {
         tracer->instant("chunk_skipped", "net", record.start_s, track);
+      }
+      if (record.aborted) {
+        tracer->instant("chunk_aborted", "net", record.start_s, track);
+      }
+      if (partial) {
+        tracer->instant("chunk_partial", "net", record.start_s, track);
       }
       if (playing && !playback_start_emitted) {
         tracer->instant("playback_start", "playback", startup_delay, track);
@@ -348,6 +469,10 @@ SessionResult PlayerSession::run(ChunkSource& source,
       entry.faults = record.faults;
       entry.degraded = degraded;
       entry.skipped = skipped;
+      entry.aborted = record.aborted;
+      entry.partial = partial;
+      entry.wasted_kb = record.wasted_kilobits;
+      entry.resumed_from_byte = record.resumed_from_byte;
       journal->chunk(entry);
     }
     if (!skipped) {
@@ -385,6 +510,10 @@ SessionResult PlayerSession::run(ChunkSource& source,
     if (r.rebuffer_s > 0.0) ++stalled_chunks;
     if (r.degraded) ++result.degraded_chunks;
     if (r.skipped) ++result.skipped_chunks;
+    if (r.aborted) ++result.aborted_chunks;
+    if (r.partial) ++result.partial_chunks;
+    result.resume_count += r.resumes;
+    result.wasted_kilobits += r.wasted_kilobits;
     result.total_attempts += r.attempts;
     if (k > 0) {
       const double delta =
@@ -425,6 +554,10 @@ SessionResult PlayerSession::run(ChunkSource& source,
     entry.skipped_chunks = result.skipped_chunks;
     entry.attempts = result.total_attempts;
     for (const ChunkRecord& r : result.chunks) entry.faults += r.faults;
+    entry.aborted_chunks = result.aborted_chunks;
+    entry.partial_chunks = result.partial_chunks;
+    entry.resumes = result.resume_count;
+    entry.wasted_kb = result.wasted_kilobits;
     journal->session(entry);
   }
   return result;

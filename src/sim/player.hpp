@@ -30,6 +30,21 @@ enum class StartupPolicy {
   kBufferThreshold,
 };
 
+/// Mid-chunk abort/re-decide policy (the sub-chunk delivery layer). When
+/// enabled and the ChunkSource supports_range(), every in-flight transfer
+/// runs under a deadline monitor: once the projected completion implies a
+/// stall beyond max_stall_s the transfer is aborted, the wasted bytes are
+/// charged honestly, and the controller re-decides at a strictly lower rung
+/// resuming from the delivered byte offset. Sources without range support
+/// ignore the policy entirely (the fetch path is byte-identical to a
+/// disabled policy).
+struct AbortPolicyConfig {
+  bool enabled = false;
+  double max_stall_s = 1.0;        ///< tolerated projected stall, seconds
+  double min_observation_s = 1.0;  ///< monitor warm-up before any abort
+  double check_interval_s = 0.25;  ///< deadline-monitor checkpoint spacing
+};
+
 /// Player-level knobs shared by simulation and network emulation.
 struct SessionConfig {
   /// Bmax: playout buffer capacity, seconds (Section 7.1.1 uses 30 s).
@@ -69,6 +84,10 @@ struct SessionConfig {
   /// and its full duration is charged as rebuffering, so QoE (Eq. 5) pays
   /// for the gap honestly. When false, a failed chunk skips immediately.
   bool degrade_on_failure = true;
+
+  /// Sub-chunk delivery: mid-chunk abort/re-decide and partial-chunk
+  /// degradation. Inert unless enabled AND the source supports_range().
+  AbortPolicyConfig abort_policy;
 };
 
 /// Per-chunk log entry, mirroring the logging our dash.js modification
@@ -95,6 +114,19 @@ struct ChunkRecord {
   bool degraded = false;           ///< fell back to the lowest rung
   bool skipped = false;            ///< never delivered; duration charged as
                                    ///< rebuffering, bitrate recorded as 0
+
+  // Sub-chunk delivery provenance (non-zero only with an abort policy).
+  bool aborted = false;            ///< at least one in-flight transfer was
+                                   ///< cancelled by the deadline monitor
+  bool partial = false;            ///< only a prefix was played; the missing
+                                   ///< suffix was charged as rebuffering
+  double wasted_kilobits = 0.0;    ///< delivered bytes discarded by aborts /
+                                   ///< level switches (Eq. 5 pays for them
+                                   ///< via the elapsed download time)
+  std::size_t resumes = 0;         ///< transfers issued with a range-resume
+                                   ///< offset instead of refetching from 0
+  std::size_t resumed_from_byte = 0;  ///< byte offset of the last resume
+                                      ///< (0 when the chunk never resumed)
 };
 
 /// Complete outcome of one streaming session.
@@ -118,6 +150,12 @@ struct SessionResult {
   std::size_t degraded_chunks = 0;  ///< chunks forced to the lowest rung
   std::size_t skipped_chunks = 0;   ///< chunks never delivered
   std::size_t total_attempts = 0;   ///< transfer attempts across the session
+
+  // Sub-chunk delivery aggregates (non-zero only with an abort policy).
+  std::size_t aborted_chunks = 0;   ///< chunks with >= 1 monitor abort
+  std::size_t partial_chunks = 0;   ///< chunks played as a prefix only
+  std::size_t resume_count = 0;     ///< range-resumed transfers
+  double wasted_kilobits = 0.0;     ///< bytes downloaded but never played
 };
 
 /// The reference player: downloads chunks sequentially, makes one bitrate

@@ -93,4 +93,103 @@ sim::FetchOutcome FaultySource::fetch(std::size_t chunk, std::size_t level) {
   return outcome;
 }
 
+sim::FetchOutcome FaultySource::fetch_controlled(
+    std::size_t chunk, std::size_t level, const sim::FetchControl& control) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  obs::Counter& retries_total = registry.counter(obs::kFetchRetriesTotal);
+  obs::Counter& failures_total =
+      registry.counter(obs::kFetchAttemptFailuresTotal);
+
+  std::size_t& used = attempts_used_[chunk];
+  const double start_s = inner_->now();
+  sim::FetchOutcome outcome;
+  outcome.attempts = 0;
+
+  // Valid prefix accumulated so far; grows when a partial body keeps its
+  // bytes under range resume, and every inner transfer resumes from it.
+  double resume_kb = control.resume_from_kilobits;
+
+  const auto finish = [&](const sim::FetchOutcome& inner, bool failed) {
+    outcome.aborted = inner.aborted;
+    outcome.failed = failed;
+    outcome.delivered_kilobits =
+        failed ? resume_kb : inner.delivered_kilobits;
+    outcome.kilobits = std::max(
+        0.0, outcome.delivered_kilobits - control.resume_from_kilobits);
+    outcome.duration_s = std::max(inner_->now() - start_s, 1e-9);
+    return outcome;
+  };
+
+  for (std::size_t local = 0; local < retry_.max_attempts; ++local) {
+    const std::size_t attempt = used++;
+    ++outcome.attempts;
+    const FaultDecision decision = plan_.decide(chunk, attempt);
+    if (decision.kind != FaultKind::kNone) {
+      ++faults_injected_;
+      ++outcome.faults;
+      registry
+          .counter(obs::kFaultsInjectedTotal,
+                   obs::fault_kind_label(fault_kind_name(decision.kind)))
+          .increment();
+    }
+
+    sim::FetchControl inner_control = control;
+    inner_control.resume_from_kilobits = resume_kb;
+
+    switch (decision.kind) {
+      case FaultKind::kNone: {
+        const sim::FetchOutcome inner =
+            inner_->fetch_controlled(chunk, level, inner_control);
+        outcome.resumes += inner.resumes;
+        return finish(inner, false);
+      }
+      case FaultKind::kLatencySpike: {
+        inner_->wait(decision.latency_s);
+        const sim::FetchOutcome inner =
+            inner_->fetch_controlled(chunk, level, inner_control);
+        outcome.resumes += inner.resumes;
+        return finish(inner, false);
+      }
+      case FaultKind::kStall: {
+        const sim::FetchOutcome inner =
+            inner_->fetch_controlled(chunk, level, inner_control);
+        outcome.resumes += inner.resumes;
+        // An aborted transfer tears the connection down before the stall
+        // tail would have been ridden out.
+        if (!inner.aborted) inner_->wait(decision.stall_s);
+        return finish(inner, false);
+      }
+      case FaultKind::kPartialBody: {
+        // Only a prefix of the remaining payload flows before the
+        // connection dies — but under range resume that prefix stays
+        // useful, so it becomes resume credit for the next attempt.
+        inner_control.truncate_after_fraction = decision.body_fraction;
+        const sim::FetchOutcome inner =
+            inner_->fetch_controlled(chunk, level, inner_control);
+        outcome.resumes += inner.resumes;
+        resume_kb = inner.delivered_kilobits;
+        if (inner.aborted) return finish(inner, false);
+        break;
+      }
+      case FaultKind::kReset:
+        inner_->wait(plan_.reset_delay_s);
+        break;
+      case FaultKind::kHttpError:
+        inner_->wait(plan_.error_response_s);
+        break;
+    }
+
+    failures_total.increment();
+    if (local + 1 < retry_.max_attempts) {
+      ++retries_;
+      retries_total.increment();
+      inner_->wait(retry_.backoff_s(local + 1, jitter_rng_));
+    }
+  }
+
+  sim::FetchOutcome exhausted;
+  exhausted.delivered_kilobits = resume_kb;
+  return finish(exhausted, true);
+}
+
 }  // namespace abr::testing

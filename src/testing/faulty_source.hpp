@@ -37,6 +37,15 @@ class FaultySource final : public sim::ChunkSource {
                sim::RetryPolicy retry = {});
 
   sim::FetchOutcome fetch(std::size_t chunk, std::size_t level) override;
+
+  /// Sub-chunk variant: same schedule, attempt numbering, and backoff
+  /// stream as fetch(), but faults compose with range resume — a partial
+  /// body keeps its prefix as resume credit instead of being discarded, a
+  /// mid-body stall that the abort monitor cancels never serves its tail,
+  /// and an inner abort surfaces immediately with the delivered prefix.
+  sim::FetchOutcome fetch_controlled(std::size_t chunk, std::size_t level,
+                                     const sim::FetchControl& control) override;
+  bool supports_range() const override { return inner_->supports_range(); }
   void wait(double seconds) override { inner_->wait(seconds); }
   double now() const override { return inner_->now(); }
   const trace::ThroughputTrace* truth() const override {

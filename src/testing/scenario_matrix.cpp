@@ -68,6 +68,9 @@ struct CellTotals {
   std::size_t degraded = 0;
   std::size_t skipped = 0;
   std::size_t attempts = 0;
+  std::size_t aborted = 0;
+  std::size_t partial = 0;
+  double wasted_kb = 0.0;
 };
 
 }  // namespace
@@ -77,6 +80,7 @@ const char* scenario_kind_name(ScenarioKind kind) {
     case ScenarioKind::kClean: return "clean";
     case ScenarioKind::kFaultStorm: return "faults";
     case ScenarioKind::kOutage: return "outage";
+    case ScenarioKind::kRangeChaos: return "range-chaos";
   }
   return "?";
 }
@@ -97,6 +101,13 @@ Scenario Scenario::fault_storm(std::uint64_t seed) {
   return scenario;
 }
 
+Scenario Scenario::range_chaos(std::uint64_t seed) {
+  Scenario scenario = fault_storm(seed);
+  scenario.kind = ScenarioKind::kRangeChaos;
+  scenario.name = "range-chaos";
+  return scenario;
+}
+
 Scenario Scenario::outage(double down_s, double up_s, std::size_t origins) {
   Scenario scenario;
   scenario.kind = ScenarioKind::kOutage;
@@ -114,7 +125,7 @@ MatrixConfig MatrixConfig::smoke() {
       TraceFamily{trace::DatasetKind::kHsdpa, 2, 320.0, 20150817},
   };
   config.scenarios = {Scenario::clean(), Scenario::fault_storm(42),
-                      Scenario::outage(40.0, 80.0)};
+                      Scenario::outage(40.0, 80.0), Scenario::range_chaos(42)};
   return config;
 }
 
@@ -180,6 +191,8 @@ TournamentReport run_tournament(const MatrixConfig& config) {
 
         sim::SessionConfig session;
         session.buffer_capacity_s = config.buffer_capacity_s;
+        session.abort_policy.enabled =
+            scenario.kind == ScenarioKind::kRangeChaos;
         const sim::PlayerSession player(manifest, qoe, session);
 
         CellResult& cell = cells[index];
@@ -197,6 +210,7 @@ TournamentReport run_tournament(const MatrixConfig& config) {
           switch (scenario.kind) {
             case ScenarioKind::kClean:
               break;
+            case ScenarioKind::kRangeChaos:
             case ScenarioKind::kFaultStorm: {
               FaultPlan plan = scenario.faults;
               // Distinct-but-derived schedule per session.
@@ -226,6 +240,9 @@ TournamentReport run_tournament(const MatrixConfig& config) {
           totals.degraded += result.degraded_chunks;
           totals.skipped += result.skipped_chunks;
           totals.attempts += result.total_attempts;
+          totals.aborted += result.aborted_chunks;
+          totals.partial += result.partial_chunks;
+          totals.wasted_kb += result.wasted_kilobits;
           for (const sim::ChunkRecord& chunk : result.chunks) {
             fnv_absorb(cell.decision_hash, chunk.index);
             fnv_absorb(cell.decision_hash, chunk.level);
@@ -246,6 +263,10 @@ TournamentReport run_tournament(const MatrixConfig& config) {
         cell.total_attempts = totals.attempts;
         cell.decide_calls = counting.decide_calls;
         cell.solver_nodes = counting.solver_nodes;
+        cell.abort_enabled = scenario.kind == ScenarioKind::kRangeChaos;
+        cell.aborted_chunks = totals.aborted;
+        cell.partial_chunks = totals.partial;
+        cell.wasted_kilobits = totals.wasted_kb;
       },
       config.threads);
 
@@ -315,7 +336,15 @@ std::string TournamentReport::to_json() const {
            ", \"total_attempts\": " + std::to_string(c.total_attempts) +
            ", \"decide_calls\": " + std::to_string(c.decide_calls) +
            ", \"solver_nodes\": " + std::to_string(c.solver_nodes) +
-           ", \"decision_hash\": \"" + hex64(c.decision_hash) + "\"}";
+           ", \"decision_hash\": \"" + hex64(c.decision_hash) + "\"";
+    if (c.abort_enabled) {
+      // Sub-chunk attribution is emitted only for abort-enabled cells so
+      // that every pre-existing baseline line stays byte-identical.
+      out += ", \"aborted_chunks\": " + std::to_string(c.aborted_chunks) +
+             ", \"partial_chunks\": " + std::to_string(c.partial_chunks) +
+             ", \"wasted_kilobits\": " + obs::json_number(c.wasted_kilobits);
+    }
+    out += "}";
     out += i + 1 < cells.size() ? ",\n" : "\n";
   }
   out += "  ],\n  \"ranking\": [\n";

@@ -18,6 +18,7 @@ enum class ScenarioKind {
   kClean,       ///< plain TraceChunkSource (Eq. 2 virtual time)
   kFaultStorm,  ///< FaultPlan injected through FaultySource
   kOutage,      ///< OutageScript origin kills through SimulatedOriginSource
+  kRangeChaos,  ///< the fault storm with sub-chunk abort/resume enabled
 };
 
 const char* scenario_kind_name(ScenarioKind kind);
@@ -38,6 +39,11 @@ struct Scenario {
   static Scenario fault_storm(std::uint64_t seed);
   /// Origin 0 down during [down_s, up_s) with a failover pool of `origins`.
   static Scenario outage(double down_s, double up_s, std::size_t origins = 2);
+  /// The same storm as fault_storm(seed), but sessions run with the
+  /// sub-chunk abort policy enabled: in-flight transfers that project a
+  /// stall are aborted mid-body and resumed at a lower rung (HTTP Range
+  /// semantics). Same seed => directly comparable against "faults" cells.
+  static Scenario range_chaos(std::uint64_t seed);
 };
 
 /// One row group of the trace axis: a seeded synthetic dataset family.
@@ -93,6 +99,13 @@ struct CellResult {
   /// FNV-1a over every (chunk index, level, skipped) decision of the cell —
   /// pins the entire decision surface in one number.
   std::uint64_t decision_hash = 0;
+  /// Sub-chunk delivery attribution; populated (and emitted in the JSON)
+  /// only for abort-enabled scenarios so that pre-existing baseline cell
+  /// lines stay byte-identical.
+  bool abort_enabled = false;
+  std::size_t aborted_chunks = 0;
+  std::size_t partial_chunks = 0;
+  double wasted_kilobits = 0.0;
 };
 
 /// Per-algorithm aggregate across every cell (all algorithms see identical

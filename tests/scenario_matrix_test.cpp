@@ -12,7 +12,7 @@ namespace abr::testing {
 namespace {
 
 /// A matrix small enough for unit tests: two algorithms, one family of one
-/// trace, all three scenario kinds.
+/// trace, all four scenario kinds.
 MatrixConfig tiny_config() {
   MatrixConfig config = MatrixConfig::smoke();
   config.algorithms = {core::Algorithm::kRateBased,
@@ -29,17 +29,16 @@ TEST(ScenarioMatrix, SmokeConfigCoversRegistryTimesFamiliesTimesScenarios) {
   const MatrixConfig config = MatrixConfig::smoke();
   EXPECT_TRUE(config.algorithms.empty());  // empty means the full registry
   EXPECT_EQ(config.families.size(), 2u);
-  EXPECT_EQ(config.scenarios.size(), 3u);
-  const std::set<ScenarioKind> kinds = {config.scenarios[0].kind,
-                                        config.scenarios[1].kind,
-                                        config.scenarios[2].kind};
-  EXPECT_EQ(kinds.size(), 3u);
+  EXPECT_EQ(config.scenarios.size(), 4u);
+  std::set<ScenarioKind> kinds;
+  for (const Scenario& scenario : config.scenarios) kinds.insert(scenario.kind);
+  EXPECT_EQ(kinds.size(), 4u);
 }
 
 TEST(ScenarioMatrix, ProducesOneCellPerMatrixPoint) {
   const MatrixConfig config = tiny_config();
   const TournamentReport report = run_tournament(config);
-  ASSERT_EQ(report.cells.size(), 2u * 1u * 3u);
+  ASSERT_EQ(report.cells.size(), 2u * 1u * 4u);
   std::set<std::string> seen;
   for (const CellResult& cell : report.cells) {
     EXPECT_EQ(cell.sessions, 1u);
@@ -91,6 +90,31 @@ TEST(ScenarioMatrix, JsonContainsEveryCellAndTableEveryAlgorithm) {
   for (const AlgorithmRank& rank : report.ranking) {
     EXPECT_NE(table.find(rank.algorithm), std::string::npos);
   }
+}
+
+TEST(ScenarioMatrix, RangeChaosNeverRebuffersMoreThanTheFaultStorm) {
+  // range-chaos is the same storm (same seed) with the sub-chunk abort
+  // policy on: every cell must do no worse on rebuffer than its "faults"
+  // twin, and the attribution fields must only appear on abort cells.
+  const TournamentReport report = run_tournament(tiny_config());
+  auto cell_of = [&](const std::string& algorithm, const char* scenario) {
+    const auto it = std::find_if(
+        report.cells.begin(), report.cells.end(), [&](const CellResult& c) {
+          return c.algorithm == algorithm && c.scenario == scenario;
+        });
+    EXPECT_NE(it, report.cells.end());
+    return *it;
+  };
+  for (const AlgorithmRank& rank : report.ranking) {
+    const CellResult faults = cell_of(rank.algorithm, "faults");
+    const CellResult chaos = cell_of(rank.algorithm, "range-chaos");
+    EXPECT_FALSE(faults.abort_enabled);
+    EXPECT_TRUE(chaos.abort_enabled);
+    EXPECT_LE(chaos.rebuffer_ratio, faults.rebuffer_ratio)
+        << rank.algorithm << ": abort policy made rebuffering worse";
+  }
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"aborted_chunks\""), std::string::npos);
 }
 
 TEST(ScenarioMatrix, RejectsEmptyAxes) {

@@ -264,6 +264,10 @@ ReportSummary summarize_journal(std::istream& in) {
       algo.skipped_chunks += get_count(record, "skipped");
       algo.attempts += get_count(record, "attempts");
       algo.faults += get_count(record, "faults");
+      algo.aborted_chunks += get_count(record, "aborted");
+      algo.partial_chunks += get_count(record, "partial");
+      algo.resumes += get_count(record, "resumes");
+      algo.wasted_kb += get_number(record, "wasted_kb");
     }
     // Unknown record types are skipped: the schema may grow and old
     // abrreport builds should still summarize what they understand.
@@ -349,9 +353,11 @@ std::string render_report(const ReportSummary& summary) {
   }
 
   out += "\nsolver and delivery provenance (chunk records)\n";
-  append_row(out, "%-12s %8s %8s %8s %7s %12s %9s %7s %9s %8s\n", "algorithm",
-             "chunks", "online", "table", "warm%", "nodes/chunk", "attempts",
-             "faults", "degraded", "skipped");
+  append_row(out,
+             "%-12s %8s %8s %8s %7s %12s %9s %7s %9s %8s %8s %8s %10s\n",
+             "algorithm", "chunks", "online", "table", "warm%", "nodes/chunk",
+             "attempts", "faults", "degraded", "skipped", "aborted", "resumed",
+             "wasted_kb");
   for (const AlgorithmSummary& algo : summary.algorithms) {
     const double warm_pct =
         algo.chunks > 0 ? 100.0 * static_cast<double>(algo.warm_starts) /
@@ -361,10 +367,13 @@ std::string render_report(const ReportSummary& summary) {
         algo.chunks > 0 ? static_cast<double>(algo.nodes_expanded) /
                               static_cast<double>(algo.chunks)
                         : 0.0;
-    append_row(out, "%-12s %8zu %8zu %8zu %6.1f%% %12.1f %9zu %7zu %9zu %8zu\n",
+    append_row(out,
+               "%-12s %8zu %8zu %8zu %6.1f%% %12.1f %9zu %7zu %9zu %8zu %8zu "
+               "%8zu %10.0f\n",
                algo.algorithm.c_str(), algo.chunks, algo.online_chunks,
                algo.table_chunks, warm_pct, nodes_per_chunk, algo.attempts,
-               algo.faults, algo.degraded_chunks, algo.skipped_chunks);
+               algo.faults, algo.degraded_chunks, algo.skipped_chunks,
+               algo.aborted_chunks, algo.resumes, algo.wasted_kb);
   }
   return out;
 }

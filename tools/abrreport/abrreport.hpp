@@ -54,6 +54,11 @@ struct AlgorithmSummary {
   std::size_t skipped_chunks = 0;
   std::size_t attempts = 0;
   std::size_t faults = 0;
+  // Sub-chunk delivery attribution (absent in pre-abort journals => 0).
+  std::size_t aborted_chunks = 0;
+  std::size_t partial_chunks = 0;
+  std::size_t resumes = 0;
+  double wasted_kb = 0.0;
 
   // From "chunk" records (solver provenance).
   std::size_t chunks = 0;

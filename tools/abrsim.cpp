@@ -61,6 +61,7 @@ struct Options {
   bool metrics = false;
   std::string trace_out;
   std::string faults_path;
+  bool abort_policy = false;
   std::size_t origins = 1;
   std::vector<std::string> kill_specs;
   std::string journal_path;
@@ -90,6 +91,11 @@ void usage() {
       "  --faults PLAN.json        inject transport faults per a seeded\n"
       "                            FaultPlan (deterministic: same plan =>\n"
       "                            bit-identical session)\n"
+      "  --abort-policy            abort in-flight transfers that project a\n"
+      "                            stall, re-decide at a lower rung, and\n"
+      "                            resume from the delivered byte offset\n"
+      "                            (needs a range-capable source; inert\n"
+      "                            with --origins)\n"
       "  --origins N               route every chunk through a pool of N\n"
       "                            virtual origins with per-origin circuit\n"
       "                            breakers and automatic failover\n"
@@ -157,6 +163,7 @@ bool parse_args(int argc, char** argv, Options& options) {
     else if (arg == "--metrics") options.metrics = true;
     else if (arg == "--trace-out") options.trace_out = value();
     else if (arg == "--faults") options.faults_path = value();
+    else if (arg == "--abort-policy") options.abort_policy = true;
     else if (arg == "--origins")
       options.origins = std::strtoull(value(), nullptr, 10);
     else if (arg == "--kill-origin") options.kill_specs.emplace_back(value());
@@ -242,6 +249,7 @@ int main(int argc, char** argv) {
                             qoe::preset_weights(*preference));
   sim::SessionConfig session;
   session.buffer_capacity_s = options.buffer_s;
+  session.abort_policy.enabled = options.abort_policy;
   if (tracer.enabled()) session.trace_writer = &tracer;
 
   // --journal attaches the structured JSONL journal to the session; every
@@ -343,6 +351,12 @@ int main(int argc, char** argv) {
     std::printf("degraded chunks:  %zu\n", result.degraded_chunks);
     std::printf("skipped chunks:   %zu\n", result.skipped_chunks);
   }
+  if (options.abort_policy) {
+    std::printf("\nabort policy:     %zu aborted, %zu partial, %zu resumes, "
+                "%.0f kb wasted\n",
+                result.aborted_chunks, result.partial_chunks,
+                result.resume_count, result.wasted_kilobits);
+  }
   if (origin_source.has_value()) {
     const net::OriginPool& pool = origin_source->pool();
     std::printf("\norigin pool:      %zu origins, %zu failovers, "
@@ -369,12 +383,15 @@ int main(int argc, char** argv) {
   if (options.chunk_log) {
     std::printf("\nchunk,level,bitrate_kbps,start_s,download_s,throughput_kbps,"
                 "buffer_after_s,rebuffer_s,wait_s,attempts,degraded,skipped,"
-                "origin\n");
+                "origin,aborted,partial,wasted_kb,resumed_from_byte\n");
     for (const sim::ChunkRecord& r : result.chunks) {
-      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f,%zu,%d,%d,%zu\n",
+      std::printf("%zu,%zu,%.0f,%.3f,%.3f,%.1f,%.3f,%.3f,%.3f,%zu,%d,%d,%zu,"
+                  "%d,%d,%.3f,%zu\n",
                   r.index, r.level, r.bitrate_kbps, r.start_s, r.download_s,
                   r.throughput_kbps, r.buffer_after_s, r.rebuffer_s, r.wait_s,
-                  r.attempts, r.degraded ? 1 : 0, r.skipped ? 1 : 0, r.origin);
+                  r.attempts, r.degraded ? 1 : 0, r.skipped ? 1 : 0, r.origin,
+                  r.aborted ? 1 : 0, r.partial ? 1 : 0, r.wasted_kilobits,
+                  r.resumed_from_byte);
     }
   }
 
