@@ -1,0 +1,105 @@
+// Differential fuzzer for FastMpcTable representations. Three exactness
+// contracts from fastmpc_table.hpp, probed on tiny decoded configs:
+//   1. flat_lookup is representation only: flat and RLE tables answer every
+//      lookup identically;
+//   2. warm_start is exactness preserving: warm and cold builds answer every
+//      lookup identically;
+//   3. serialize/deserialize is a faithful round trip (operator==).
+//
+// Configs are kept tiny (<= 8x8 bins, horizon <= 3, single thread) so each
+// fuzz iteration builds four tables in well under a millisecond.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/fastmpc_table.hpp"
+#include "fuzz_input.hpp"
+#include "media/manifest.hpp"
+#include "media/quality.hpp"
+#include "qoe/qoe.hpp"
+
+using abr::core::FastMpcConfig;
+using abr::core::FastMpcTable;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  abr::fuzz::FuzzInput in(data, size);
+
+  const std::size_t levels = in.uniform_size(2, 4);
+  std::vector<double> ladder;
+  double rate = in.uniform_double(100.0, 800.0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    ladder.push_back(rate);
+    rate += in.uniform_double(100.0, 1500.0);
+  }
+  const abr::media::VideoManifest manifest =
+      abr::media::VideoManifest::cbr(8, 4.0, std::move(ladder), "fuzz");
+
+  abr::qoe::QoeWeights weights;
+  weights.lambda = in.uniform_double(0.0, 3.0);
+  weights.mu = in.uniform_double(0.0, 6000.0);
+  weights.mu_startup = weights.mu;
+  const abr::qoe::QoeModel model(abr::media::QualityFunction::identity(),
+                                 weights);
+
+  FastMpcConfig config;
+  config.buffer_bins = in.uniform_size(2, 8);
+  config.throughput_bins = in.uniform_size(2, 8);
+  config.throughput_lo_kbps = in.uniform_double(50.0, 200.0);
+  config.throughput_hi_kbps =
+      config.throughput_lo_kbps + in.uniform_double(500.0, 8000.0);
+  config.horizon = in.uniform_size(1, 3);
+  config.buffer_capacity_s = in.uniform_double(10.0, 30.0);
+  config.threads = 1;
+
+  const FastMpcTable cold = FastMpcTable::build(manifest, model, config);
+
+  FastMpcConfig flat_config = config;
+  flat_config.flat_lookup = true;
+  const FastMpcTable flat = FastMpcTable::build(manifest, model, flat_config);
+
+  FastMpcConfig warm_config = config;
+  warm_config.warm_start = !config.warm_start;
+  const FastMpcTable warm = FastMpcTable::build(manifest, model, warm_config);
+
+  // Probe set: decoded random queries plus the cell centers of every
+  // (buffer bin, throughput bin) plane — the latter hits each stored cell.
+  std::vector<std::pair<double, double>> probes;
+  for (int i = 0; i < 8; ++i) {
+    probes.emplace_back(in.uniform_double(-1.0, config.buffer_capacity_s + 5.0),
+                        in.uniform_double(1.0, config.throughput_hi_kbps * 1.5));
+  }
+  const double bin_width =
+      config.buffer_capacity_s / static_cast<double>(config.buffer_bins);
+  for (std::size_t b = 0; b < config.buffer_bins; ++b) {
+    const double buffer = (static_cast<double>(b) + 0.5) * bin_width;
+    for (std::size_t t = 0; t < config.throughput_bins; ++t) {
+      // Geometric mid-point walk over the log-spaced throughput grid.
+      const double frac = (static_cast<double>(t) + 0.5) /
+                          static_cast<double>(config.throughput_bins);
+      const double kbps =
+          config.throughput_lo_kbps +
+          frac * (config.throughput_hi_kbps - config.throughput_lo_kbps);
+      probes.emplace_back(buffer, kbps);
+    }
+  }
+
+  for (const auto& [buffer_s, kbps] : probes) {
+    for (std::size_t prev = 0; prev < levels; ++prev) {
+      const std::size_t expected = cold.lookup(buffer_s, prev, kbps);
+      ABR_FUZZ_REQUIRE_MSG(flat.lookup(buffer_s, prev, kbps) == expected,
+                           "flat lookup diverged from RLE lookup");
+      ABR_FUZZ_REQUIRE_MSG(warm.lookup(buffer_s, prev, kbps) == expected,
+                           "warm-built table diverged from cold build");
+      ABR_FUZZ_REQUIRE(expected < levels);
+    }
+  }
+
+  // Serialization round trip is exact.
+  const FastMpcTable reloaded = FastMpcTable::deserialize(cold.serialize());
+  ABR_FUZZ_REQUIRE_MSG(reloaded == cold,
+                       "serialize/deserialize round trip changed the table");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fuzzes the ChunkServer-facing HTTP parsing surface: request lines, status
+// lines, and header blocks (net::parse_header_block — the function every
+// received block goes through). The whole input is treated as one header
+// block whose first line is also fed to the line parsers.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "fuzz_input.hpp"
+#include "net/http.hpp"
+#include "util/strings.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string block(reinterpret_cast<const char*>(data), size);
+
+  // Header block: throws std::invalid_argument on malformed lines (the
+  // expected control path); anything else is a bug.
+  try {
+    const abr::net::HttpHeaders headers =
+        abr::net::parse_header_block(block, /*skip_lines=*/1);
+    for (const auto& [key, value] : headers.entries) {
+      // Every parsed name must be findable through the case-insensitive
+      // lookup the server uses.
+      ABR_FUZZ_REQUIRE(headers.find(key) != nullptr);
+      // trim() already ran: no leading/trailing whitespace survives.
+      ABR_FUZZ_REQUIRE(abr::util::trim(key) == key);
+      ABR_FUZZ_REQUIRE(abr::util::trim(value) == value);
+    }
+  } catch (const std::invalid_argument&) {
+  }
+
+  // First line through both line parsers.
+  std::string_view line(block);
+  const std::size_t newline = line.find('\n');
+  if (newline != std::string_view::npos) line = line.substr(0, newline);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  abr::net::HttpRequest request;
+  if (abr::net::parse_request_line(line, request)) {
+    ABR_FUZZ_REQUIRE(!request.method.empty());
+    ABR_FUZZ_REQUIRE(!request.target.empty());
+    ABR_FUZZ_REQUIRE(request.target.front() == '/');
+  }
+  abr::net::HttpResponse response;
+  if (abr::net::parse_status_line(line, response)) {
+    ABR_FUZZ_REQUIRE(response.status >= 100 && response.status <= 599);
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+#pragma once
+
+// Structure-aware fuzzing support: a deterministic decoder that turns the
+// fuzzer's byte string into typed values (the FuzzedDataProvider pattern,
+// repo-built so the standalone replay driver works on any toolchain).
+//
+// Determinism contract: the decoded sequence is a pure function of the input
+// bytes. An exhausted input yields zeros/lower bounds, so every byte string
+// decodes to *some* valid instance — no fuzz input is rejected, which keeps
+// coverage feedback dense.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace abr::fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  std::uint32_t u32() {
+    std::uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) out = (out << 8) | u8();
+    return out;
+  }
+
+  std::uint64_t u64() {
+    std::uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) out = (out << 8) | u8();
+    return out;
+  }
+
+  bool boolean() { return (u8() & 1) != 0; }
+
+  /// Integer in [lo, hi] inclusive; lo when the range is degenerate.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) {
+    if (hi <= lo) return lo;
+    const std::uint64_t span = hi - lo + 1;
+    // span == 0 means the full 2^64 range.
+    return span == 0 ? u64() : lo + u64() % span;
+  }
+
+  std::size_t uniform_size(std::size_t lo, std::size_t hi) {
+    return static_cast<std::size_t>(uniform_u64(lo, hi));
+  }
+
+  /// Double in [0, 1].
+  double unit() {
+    return static_cast<double>(u32()) / 4294967295.0;
+  }
+
+  double uniform_double(double lo, double hi) {
+    return lo + (hi - lo) * unit();
+  }
+
+  /// Up to `max_len` raw bytes as a string (may contain NULs).
+  std::string take_string(std::size_t max_len) {
+    const std::size_t n = uniform_size(0, max_len);
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n && pos_ < size_; ++i) {
+      out.push_back(static_cast<char>(data_[pos_++]));
+    }
+    return out;
+  }
+
+  /// All remaining bytes as a string.
+  std::string rest_string() {
+    std::string out(reinterpret_cast<const char*>(data_ + pos_), remaining());
+    pos_ = size_;
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace abr::fuzz
+
+/// Invariant assertion for fuzz harnesses: prints the condition and aborts,
+/// which libFuzzer reports as a crash and the standalone replay driver
+/// surfaces as a non-zero exit.
+#define ABR_FUZZ_REQUIRE(cond)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FUZZ INVARIANT FAILED: %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// As above with a runtime detail (e.g. the violation list of a checker).
+#define ABR_FUZZ_REQUIRE_MSG(cond, detail)                                \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FUZZ INVARIANT FAILED: %s at %s:%d\n%s\n",    \
+                   #cond, __FILE__, __LINE__,                             \
+                   std::string(detail).c_str());                          \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,37 @@
+// Fuzzes net::parse_range_header (RFC 7233 single-range subset).
+//
+// Input layout: 8 bytes big-endian resource size, remaining bytes the Range
+// header value. Invariants: a kValid parse yields a range inside the
+// resource; parsing is deterministic; no outcome is UB (ASan/UBSan enforce
+// that under ABR_FUZZ).
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz_input.hpp"
+#include "net/http.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  abr::fuzz::FuzzInput in(data, size);
+  // Raw 64-bit size: exercises 0, small, and UINT64_MAX-adjacent resources.
+  const auto resource = static_cast<std::size_t>(in.u64());
+  const std::string value = in.rest_string();
+
+  abr::net::ByteRange range;
+  const abr::net::RangeParse outcome =
+      abr::net::parse_range_header(value, resource, range);
+  if (outcome == abr::net::RangeParse::kValid) {
+    ABR_FUZZ_REQUIRE(resource > 0);
+    ABR_FUZZ_REQUIRE(range.first <= range.last);
+    ABR_FUZZ_REQUIRE(range.last < resource);
+  }
+
+  abr::net::ByteRange again;
+  ABR_FUZZ_REQUIRE(abr::net::parse_range_header(value, resource, again) ==
+                   outcome);
+  if (outcome == abr::net::RangeParse::kValid) {
+    ABR_FUZZ_REQUIRE(again.first == range.first && again.last == range.last);
+  }
+  return 0;
+}

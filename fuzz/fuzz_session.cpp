@@ -1,0 +1,149 @@
+// Session-level structure-aware fuzzer: decodes bytes into a (manifest,
+// trace, FaultPlan, abort policy, algorithm) configuration, replays a full
+// PlayerSession in virtual time, and checks the paper's invariants via
+// testing::InvariantChecker — Eq. (1)-(4) buffer dynamics replayed from
+// scratch, Eq. (5) QoE-attribution conservation, and every derived
+// aggregate. A second run from fresh objects must be bit-identical
+// (everything is a pure function of the decoded configuration).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithms.hpp"
+#include "fuzz_input.hpp"
+#include "media/manifest.hpp"
+#include "media/quality.hpp"
+#include "qoe/qoe.hpp"
+#include "sim/chunk_source.hpp"
+#include "sim/player.hpp"
+#include "testing/fault_plan.hpp"
+#include "testing/faulty_source.hpp"
+#include "testing/invariant_checker.hpp"
+#include "trace/throughput_trace.hpp"
+
+namespace {
+
+struct Decoded {
+  abr::media::VideoManifest manifest;
+  abr::qoe::QoeModel model{abr::media::QualityFunction::identity(),
+                           abr::qoe::QoeWeights{}};
+  abr::trace::ThroughputTrace trace;
+  abr::testing::FaultPlan plan;
+  abr::sim::SessionConfig config;
+  abr::core::Algorithm algorithm = abr::core::Algorithm::kRateBased;
+  bool use_faults = false;
+};
+
+void decode(abr::fuzz::FuzzInput& in, Decoded& out) {
+  const std::size_t levels = in.uniform_size(2, 4);
+  std::vector<double> ladder;
+  double rate = in.uniform_double(100.0, 800.0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    ladder.push_back(rate);
+    rate += in.uniform_double(100.0, 2000.0);
+  }
+  const std::size_t chunks = in.uniform_size(2, 12);
+  out.manifest =
+      abr::media::VideoManifest::cbr(chunks, 4.0, std::move(ladder), "fuzz");
+
+  abr::qoe::QoeWeights weights;
+  weights.lambda = in.uniform_double(0.0, 3.0);
+  weights.mu = in.uniform_double(0.0, 6000.0);
+  weights.mu_startup = weights.mu;
+  out.model =
+      abr::qoe::QoeModel(abr::media::QualityFunction::identity(), weights);
+
+  std::vector<abr::trace::TraceSegment> segments;
+  const std::size_t count = in.uniform_size(1, 8);
+  for (std::size_t i = 0; i < count; ++i) {
+    abr::trace::TraceSegment seg;
+    seg.duration_s = in.uniform_double(1.0, 30.0);
+    // Segment 0 keeps a floor so one trace period has non-zero capacity.
+    seg.rate_kbps =
+        i == 0 ? in.uniform_double(50.0, 8000.0) : in.uniform_double(0.0, 8000.0);
+    segments.push_back(seg);
+  }
+  out.trace = abr::trace::ThroughputTrace(std::move(segments), "fuzz");
+
+  out.use_faults = in.boolean();
+  out.plan = abr::testing::FaultPlan{};
+  if (out.use_faults) {
+    out.plan.seed = in.u64() | 1;
+    out.plan.latency_rate = in.uniform_double(0.0, 0.2);
+    out.plan.stall_rate = in.uniform_double(0.0, 0.2);
+    out.plan.partial_rate = in.uniform_double(0.0, 0.2);
+    out.plan.reset_rate = in.uniform_double(0.0, 0.2);
+    out.plan.http_error_rate = in.uniform_double(0.0, 0.2);
+    out.plan.latency_min_s = in.uniform_double(0.01, 1.0);
+    out.plan.latency_max_s = out.plan.latency_min_s + in.uniform_double(0.0, 2.0);
+    out.plan.stall_min_s = in.uniform_double(0.01, 1.0);
+    out.plan.stall_max_s = out.plan.stall_min_s + in.uniform_double(0.0, 3.0);
+    out.plan.max_faulty_attempts = in.uniform_size(1, 3);
+    out.plan.validate();  // decode ranges are valid by construction
+  }
+
+  out.config = abr::sim::SessionConfig{};
+  out.config.buffer_capacity_s = in.uniform_double(8.0, 30.0);
+  out.config.include_startup_in_qoe = in.boolean();
+  out.config.degrade_on_failure = in.boolean();
+  out.config.abort_policy.enabled = in.boolean();
+  out.config.abort_policy.max_stall_s = in.uniform_double(0.25, 2.0);
+  out.config.abort_policy.min_observation_s = in.uniform_double(0.25, 1.5);
+  out.config.abort_policy.check_interval_s = in.uniform_double(0.1, 0.5);
+
+  // Fast controllers only: the MPC family is covered by the solver
+  // harnesses, and per-exec latency is coverage for a fuzzer.
+  static constexpr abr::core::Algorithm kAlgorithms[] = {
+      abr::core::Algorithm::kRateBased, abr::core::Algorithm::kBufferBased,
+      abr::core::Algorithm::kBola,      abr::core::Algorithm::kDashJs,
+      abr::core::Algorithm::kFestive,
+  };
+  out.algorithm = kAlgorithms[in.uniform_size(0, 4)];
+}
+
+abr::sim::SessionResult run_once(const Decoded& d) {
+  abr::sim::TraceChunkSource inner(d.trace, d.manifest);
+  abr::core::AlgorithmInstance instance =
+      abr::core::make_algorithm(d.algorithm, d.manifest, d.model);
+  const abr::sim::PlayerSession session(d.manifest, d.model, d.config);
+  if (d.use_faults) {
+    abr::testing::FaultySource faulty(inner, d.plan);
+    return session.run(faulty, *instance.controller, *instance.predictor);
+  }
+  return session.run(inner, *instance.controller, *instance.predictor);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  abr::fuzz::FuzzInput in(data, size);
+  Decoded decoded;
+  decode(in, decoded);
+
+  const abr::sim::SessionResult result = run_once(decoded);
+  ABR_FUZZ_REQUIRE(result.chunks.size() == decoded.manifest.chunk_count());
+
+  abr::testing::InvariantOptions options;
+  options.chunk_duration_s = decoded.manifest.chunk_duration_s();
+  options.buffer_capacity_s = decoded.config.buffer_capacity_s;
+  options.include_startup_in_qoe = decoded.config.include_startup_in_qoe;
+  options.allow_failures = true;
+  const abr::testing::InvariantChecker checker(options);
+  const abr::testing::InvariantReport report =
+      checker.check_all(result, decoded.model);
+  ABR_FUZZ_REQUIRE_MSG(report.ok(), report.to_string().c_str());
+
+  // Determinism: fresh sources + fresh algorithm instance, same bytes out.
+  const abr::sim::SessionResult again = run_once(decoded);
+  ABR_FUZZ_REQUIRE_MSG(again.qoe == result.qoe, "session qoe not reproducible");
+  ABR_FUZZ_REQUIRE(again.chunks.size() == result.chunks.size());
+  for (std::size_t i = 0; i < result.chunks.size(); ++i) {
+    ABR_FUZZ_REQUIRE(again.chunks[i].level == result.chunks[i].level);
+    ABR_FUZZ_REQUIRE(again.chunks[i].rebuffer_s == result.chunks[i].rebuffer_s);
+    ABR_FUZZ_REQUIRE(again.chunks[i].buffer_after_s ==
+                     result.chunks[i].buffer_after_s);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fuzzes trace::from_csv on hostile bytes. Rejection must be a clean
+// std::invalid_argument; an accepted trace must satisfy the ThroughputTrace
+// class invariants (positive period, monotone kilobit integral, non-zero
+// period capacity) and survive a to_csv -> from_csv round trip.
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_input.hpp"
+#include "trace/throughput_trace.hpp"
+#include "trace/trace_io.hpp"
+
+using abr::trace::ThroughputTrace;
+using abr::trace::TraceSegment;
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  ThroughputTrace trace;
+  try {
+    trace = abr::trace::from_csv(text, "fuzz");
+  } catch (const std::invalid_argument&) {
+    return 0;  // malformed input: the expected rejection path
+  }
+
+  ABR_FUZZ_REQUIRE(trace.period_s() > 0.0);
+  ABR_FUZZ_REQUIRE(std::isfinite(trace.period_s()));
+  double duration_sum = 0.0;
+  for (const TraceSegment& seg : trace.segments()) {
+    ABR_FUZZ_REQUIRE(seg.duration_s > 0.0);
+    ABR_FUZZ_REQUIRE(seg.rate_kbps >= 0.0);
+    duration_sum += seg.duration_s;
+  }
+  ABR_FUZZ_REQUIRE(std::abs(duration_sum - trace.period_s()) <=
+                   1e-9 * static_cast<double>(trace.segments().size() + 1));
+
+  // The kilobit integral is monotone and one full period delivers a
+  // positive amount (otherwise transfers could never finish).
+  const double period = trace.period_s();
+  ABR_FUZZ_REQUIRE(trace.kilobits_between(0.0, period) > 0.0);
+  double prev = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    const double t = period * static_cast<double>(i) / 4.0;
+    const double kb = trace.kilobits_between(0.0, t);
+    ABR_FUZZ_REQUIRE(kb >= prev);
+    prev = kb;
+  }
+
+  // Round trip through the writer re-parses with the same shape.
+  const ThroughputTrace again = abr::trace::from_csv(abr::trace::to_csv(trace));
+  ABR_FUZZ_REQUIRE(again.segments().size() == trace.segments().size());
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Differential fuzzer for HorizonSolver warm starting. The documented
+// contract (horizon_solver.hpp) is that a warm hint can only tighten
+// pruning, never change the result: for ANY hint, the returned levels and
+// objective are bit-identical to the cold solve — including tie-breaking
+// among equal optima.
+//
+// The decoded instance may already carry a random hint; this harness
+// additionally probes the cold problem, the decoded-hint problem, and the
+// self-hint (seeding with the cold solution, the strongest possible
+// incumbent).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/horizon_solver.hpp"
+#include "fuzz_input.hpp"
+#include "solver_instance.hpp"
+
+using abr::core::HorizonProblem;
+using abr::core::HorizonSolution;
+using abr::core::HorizonSolver;
+
+namespace {
+
+void require_identical(const HorizonSolution& cold,
+                       const HorizonSolution& warm) {
+  ABR_FUZZ_REQUIRE_MSG(warm.objective == cold.objective,
+                       "warm-started objective differs from cold solve");
+  ABR_FUZZ_REQUIRE_MSG(warm.levels == cold.levels,
+                       "warm-started levels differ from cold solve");
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  abr::fuzz::FuzzInput in(data, size);
+  abr::fuzz::SolverInstance inst;
+  abr::fuzz::decode_solver_instance(in, inst);
+
+  const HorizonSolver solver(inst.manifest, inst.model);
+  HorizonSolver::Workspace workspace;
+
+  HorizonProblem cold_problem = inst.problem;
+  cold_problem.warm_hint = {};
+  const HorizonSolution cold = solver.solve(cold_problem, workspace);
+
+  // The decoded instance's own (possibly empty, possibly random) hint.
+  require_identical(cold, solver.solve(inst.problem, workspace));
+
+  // A fresh random hint of full horizon length.
+  std::vector<std::size_t> random_hint(cold.levels.size());
+  for (std::size_t& level : random_hint) {
+    level = in.uniform_size(0, inst.manifest.level_count() - 1);
+  }
+  HorizonProblem hinted = cold_problem;
+  hinted.warm_hint = random_hint;
+  require_identical(cold, solver.solve(hinted, workspace));
+
+  // Self-hint: the optimum itself as the incumbent seed.
+  hinted.warm_hint = cold.levels;
+  require_identical(cold, solver.solve(hinted, workspace));
+
+  // Workspace reuse is also invisible: a solver-private workspace agrees.
+  require_identical(cold, solver.solve(cold_problem));
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Shared structure-aware decoder for the solver-oracle fuzzers: turns an
+// arbitrary byte string into a small but valid (manifest, QoE model,
+// HorizonProblem) triple. Every byte string decodes successfully — exhausted
+// input reads as zeros — so libFuzzer's mutations always land on the solver,
+// never on input validation.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/horizon_solver.hpp"
+#include "fuzz_input.hpp"
+#include "media/manifest.hpp"
+#include "media/quality.hpp"
+#include "qoe/qoe.hpp"
+
+namespace abr::fuzz {
+
+/// Owns the storage the HorizonProblem spans point into. Must stay put after
+/// decode (no copies/moves), so decode fills a caller-provided instance.
+struct SolverInstance {
+  abr::media::VideoManifest manifest;
+  abr::qoe::QoeModel model{abr::media::QualityFunction::identity(),
+                           abr::qoe::QoeWeights{}};
+  std::vector<double> forecast;
+  std::vector<std::size_t> hint;
+  abr::core::HorizonProblem problem;
+};
+
+/// Decodes bytes into `out`. Ranges are chosen so the branch-and-bound and
+/// DP solvers both stay fast (<~1ms per solve): ladders of 2-5 levels,
+/// horizons of 1-5 chunks, short videos of 1-8 chunks.
+inline void decode_solver_instance(FuzzInput& in, SolverInstance& out) {
+  const std::size_t levels = in.uniform_size(2, 5);
+  std::vector<double> ladder;
+  double rate = in.uniform_double(100.0, 1000.0);
+  for (std::size_t i = 0; i < levels; ++i) {
+    ladder.push_back(rate);
+    rate += in.uniform_double(50.0, 2000.0);  // strictly ascending
+  }
+  const std::size_t chunks = in.uniform_size(1, 8);
+  const double chunk_duration_s = in.boolean() ? 2.0 : 4.0;
+  out.manifest = abr::media::VideoManifest::cbr(chunks, chunk_duration_s,
+                                                std::move(ladder), "fuzz");
+
+  abr::qoe::QoeWeights weights;
+  weights.lambda = in.uniform_double(0.0, 4.0);
+  weights.mu = in.uniform_double(0.0, 8000.0);
+  weights.mu_startup = weights.mu;
+  weights.mu_event = in.boolean() ? in.uniform_double(0.0, 2000.0) : 0.0;
+  out.model = abr::qoe::QoeModel(abr::media::QualityFunction::identity(),
+                                 weights);
+
+  out.problem = abr::core::HorizonProblem{};
+  out.problem.buffer_capacity_s = in.uniform_double(5.0, 30.0);
+  out.problem.buffer_s = in.uniform_double(0.0, out.problem.buffer_capacity_s);
+  out.problem.has_prev = in.boolean();
+  out.problem.prev_level = in.uniform_size(0, levels - 1);
+  out.problem.first_chunk = in.uniform_size(0, chunks - 1);
+
+  const std::size_t horizon = in.uniform_size(1, 5);
+  out.forecast.clear();
+  for (std::size_t i = 0; i < horizon; ++i) {
+    out.forecast.push_back(in.uniform_double(10.0, 10000.0));
+  }
+  out.problem.predicted_kbps = out.forecast;
+
+  out.hint.clear();
+  if (in.boolean()) {
+    const std::size_t hint_len = in.uniform_size(1, horizon);
+    for (std::size_t i = 0; i < hint_len; ++i) {
+      out.hint.push_back(in.uniform_size(0, levels - 1));
+    }
+    out.problem.warm_hint = out.hint;
+  }
+}
+
+}  // namespace abr::fuzz

@@ -1,0 +1,139 @@
+// Standalone replay driver for the fuzz harnesses.
+//
+// Every harness defines LLVMFuzzerTestOneInput; linking it with this file
+// produces a <harness>_replay binary that builds on any toolchain (no
+// libFuzzer needed) and has two modes:
+//
+//   <harness>_replay FILE|DIR...            replay corpus inputs (the ctest
+//                                           corpus-regression target)
+//   <harness>_replay --rand N SEED          run N seeded random inputs
+//       [--max-len L] [--save PATH]         (local smoke; --save writes each
+//                                           input before running it, so the
+//                                           offender survives an abort)
+//
+// The real coverage-guided binaries are the ABR_FUZZ=ON Clang targets; this
+// driver exists so the committed corpora replay as plain unit tests in every
+// build, sanitizers included.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool replay_file(const fs::path& path, std::size_t& count) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  ++count;
+  return true;
+}
+
+bool replay_path(const fs::path& path, std::size_t& count) {
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    // Sort for a deterministic replay order regardless of directory layout.
+    std::sort(files.begin(), files.end());
+    for (const fs::path& file : files) {
+      if (!replay_file(file, count)) return false;
+    }
+    return true;
+  }
+  if (fs::is_regular_file(path, ec)) return replay_file(path, count);
+  std::fprintf(stderr, "no such corpus input: %s\n", path.string().c_str());
+  return false;
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int run_random(std::size_t runs, std::uint64_t seed, std::size_t max_len,
+               const std::string& save_path) {
+  std::uint64_t state = seed;
+  std::vector<std::uint8_t> input;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const std::size_t len = splitmix64(state) % (max_len + 1);
+    input.resize(len);
+    for (std::size_t b = 0; b < len; b += 8) {
+      const std::uint64_t word = splitmix64(state);
+      for (std::size_t j = 0; j < 8 && b + j < len; ++j) {
+        input[b + j] = static_cast<std::uint8_t>(word >> (8 * j));
+      }
+    }
+    if (!save_path.empty()) {
+      std::ofstream out(save_path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(input.data()),
+                static_cast<std::streamsize>(input.size()));
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    if ((i + 1) % 5000 == 0) {
+      std::fprintf(stderr, "ran %zu/%zu random inputs\n", i + 1, runs);
+    }
+  }
+  std::printf("ok: %zu random inputs (seed %llu)\n", runs,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--rand") == 0) {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s --rand N SEED [--max-len L] [--save P]\n",
+                   argv[0]);
+      return 2;
+    }
+    const std::size_t runs = std::strtoul(argv[2], nullptr, 10);
+    const std::uint64_t seed = std::strtoull(argv[3], nullptr, 10);
+    std::size_t max_len = 512;
+    std::string save_path;
+    for (int i = 4; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--max-len") == 0 && i + 1 < argc) {
+        max_len = std::strtoul(argv[++i], nullptr, 10);
+      } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+        save_path = argv[++i];
+      } else {
+        std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+        return 2;
+      }
+    }
+    return run_random(runs, seed, max_len, save_path);
+  }
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE|DIR... | --rand N SEED\n", argv[0]);
+    return 2;
+  }
+  std::size_t count = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!replay_path(argv[i], count)) return 1;
+  }
+  std::printf("ok: replayed %zu corpus inputs\n", count);
+  return 0;
+}

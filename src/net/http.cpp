@@ -100,10 +100,7 @@ RangeParse parse_range_header(std::string_view value, std::size_t size,
   return RangeParse::kValid;
 }
 
-namespace {
-
-/// Parses "Name: value" header lines from a block (CRLF or LF separated).
-HttpHeaders parse_header_lines(std::string_view block, std::size_t skip_lines) {
+HttpHeaders parse_header_block(std::string_view block, std::size_t skip_lines) {
   HttpHeaders headers;
   std::size_t line_index = 0;
   std::size_t start = 0;
@@ -124,6 +121,8 @@ HttpHeaders parse_header_lines(std::string_view block, std::size_t skip_lines) {
   }
   return headers;
 }
+
+namespace {
 
 std::string_view first_line(std::string_view block) {
   std::size_t end = block.find('\n');
@@ -208,7 +207,7 @@ std::optional<HttpRequest> HttpConnection::read_request() {
   if (!parse_request_line(line, request)) {
     throw std::invalid_argument("HTTP: malformed request line");
   }
-  request.headers = parse_header_lines(*block, /*skip_lines=*/1);
+  request.headers = parse_header_block(*block, /*skip_lines=*/1);
   request.body = read_exact(content_length_of(request.headers), nullptr);
   return request;
 }
@@ -253,7 +252,7 @@ HttpResponse HttpConnection::read_response(const ProgressCallback& progress) {
   if (!parse_status_line(first_line(*block), response)) {
     throw std::invalid_argument("HTTP: malformed status line");
   }
-  response.headers = parse_header_lines(*block, /*skip_lines=*/1);
+  response.headers = parse_header_block(*block, /*skip_lines=*/1);
   response.body = read_exact(content_length_of(response.headers), progress);
   return response;
 }

@@ -172,4 +172,10 @@ class HttpClient {
 bool parse_request_line(std::string_view line, HttpRequest& out);
 bool parse_status_line(std::string_view line, HttpResponse& out);
 
+/// Parses "Name: value" header lines from a block (CRLF or LF separated),
+/// skipping the first `skip_lines` lines (the request/status line). Throws
+/// std::invalid_argument on a malformed line. Exposed for tests and the
+/// fuzz harnesses; HttpConnection uses it on every received block.
+HttpHeaders parse_header_block(std::string_view block, std::size_t skip_lines);
+
 }  // namespace abr::net

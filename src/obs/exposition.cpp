@@ -1,9 +1,10 @@
 #include "obs/exposition.hpp"
 
 #include <cctype>
-#include <cstdlib>
 #include <map>
 #include <optional>
+
+#include "util/checked_parse.hpp"
 
 namespace abr::obs {
 
@@ -243,8 +244,10 @@ std::vector<ExpositionIssue> validate_prometheus_text(std::string_view text) {
         key += residual;
         key += '}';
         HistogramState& state = histograms[key];
-        const auto cumulative = static_cast<std::uint64_t>(
-            std::strtoull(std::string(value_token).c_str(), nullptr, 10));
+        std::uint64_t cumulative = 0;
+        if (!util::parse_u64(value_token, cumulative)) {
+          issue(line_number, "histogram bucket value is not a count");
+        }
         if (cumulative < state.last_cumulative) {
           issue(line_number, "histogram bucket counts are not cumulative");
         }
@@ -256,8 +259,11 @@ std::vector<ExpositionIssue> validate_prometheus_text(std::string_view text) {
         key += std::string(labels);
         key += '}';
         HistogramState& state = histograms[key];
-        state.count = static_cast<std::uint64_t>(
-            std::strtoull(std::string(value_token).c_str(), nullptr, 10));
+        std::uint64_t count = 0;
+        if (!util::parse_u64(value_token, count)) {
+          issue(line_number, "histogram count value is not a count");
+        }
+        state.count = count;
         state.count_line = line_number;
       }
     }

@@ -6,7 +6,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/checked_parse.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace abr::testing {
 
@@ -125,6 +127,8 @@ class FlatJsonParser {
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      skip_ws();
+      if (pos_ != text_.size()) fail("trailing garbage after object");
       return;
     }
     while (true) {
@@ -143,6 +147,8 @@ class FlatJsonParser {
       }
       if (c == '}') {
         ++pos_;
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing garbage after object");
         return;
       }
       fail("expected ',' or '}'");
@@ -183,15 +189,13 @@ class FlatJsonParser {
       ++pos_;
     }
     if (pos_ == start) fail("expected a number");
-    const std::string token(text_.substr(start, pos_ - start));
-    std::size_t consumed = 0;
+    const std::string_view token = text_.substr(start, pos_ - start);
+    // Strict JSON grammar + overflow-checked parse: "NaN", "inf", "1e999",
+    // and stray signs all land on the same malformed-input path.
     double value = 0.0;
-    try {
-      value = std::stod(token, &consumed);
-    } catch (const std::exception&) {
+    if (!util::is_json_number(token) || !util::parse_double(token, value)) {
       fail("bad number");
     }
-    if (consumed != token.size()) fail("bad number");
     return value;
   }
 
@@ -204,8 +208,17 @@ class FlatJsonParser {
 FaultPlan FaultPlan::from_json(std::string_view json) {
   FaultPlan plan;
   FlatJsonParser parser(json);
-  parser.parse([&plan](const std::string& key, double value) {
-    if (key == "seed") plan.seed = static_cast<std::uint64_t>(value);
+  // Integer fields go through the checked double->integer conversions: a
+  // fractional, negative, or out-of-range value is malformed input, not a
+  // silent truncation (the bare static_cast is UB outside the target range).
+  const auto out_of_range = [](const std::string& key) -> std::invalid_argument {
+    return std::invalid_argument("FaultPlan JSON: value out of range for '" +
+                                 key + "'");
+  };
+  parser.parse([&plan, &out_of_range](const std::string& key, double value) {
+    if (key == "seed") {
+      if (!util::u64_from_double(value, plan.seed)) throw out_of_range(key);
+    }
     else if (key == "latency_rate") plan.latency_rate = value;
     else if (key == "stall_rate") plan.stall_rate = value;
     else if (key == "partial_rate") plan.partial_rate = value;
@@ -215,11 +228,16 @@ FaultPlan FaultPlan::from_json(std::string_view json) {
     else if (key == "latency_max_s") plan.latency_max_s = value;
     else if (key == "stall_min_s") plan.stall_min_s = value;
     else if (key == "stall_max_s") plan.stall_max_s = value;
-    else if (key == "http_status") plan.http_status = static_cast<int>(value);
+    else if (key == "http_status") {
+      if (!util::int_from_double(value, plan.http_status))
+        throw out_of_range(key);
+    }
     else if (key == "error_response_s") plan.error_response_s = value;
     else if (key == "reset_delay_s") plan.reset_delay_s = value;
-    else if (key == "max_faulty_attempts")
-      plan.max_faulty_attempts = static_cast<std::size_t>(value);
+    else if (key == "max_faulty_attempts") {
+      if (!util::size_from_double(value, plan.max_faulty_attempts))
+        throw out_of_range(key);
+    }
     else
       throw std::invalid_argument("FaultPlan JSON: unknown key '" + key + "'");
   });

@@ -1,10 +1,10 @@
 #include "testing/outage_script.hpp"
 
-#include <cstdlib>
 #include <limits>
 #include <stdexcept>
 #include <string>
 
+#include "util/checked_parse.hpp"
 #include "util/strings.hpp"
 
 namespace abr::testing {
@@ -52,9 +52,11 @@ OutageWindow OutageScript::parse_kill_spec(std::string_view spec) {
       throw std::invalid_argument("kill spec: empty value for '" +
                                   std::string(key) + "'");
     }
-    char* end = nullptr;
-    const double number = std::strtod(value.c_str(), &end);
-    if (end != value.c_str() + value.size()) {
+    // Overflow-checked parse: "1e999", "nan", and "inf" are all malformed
+    // (strtod would accept them, and the origin cast below would be UB on a
+    // huge value).
+    double number = 0.0;
+    if (!util::parse_finite_double(value, number)) {
       throw std::invalid_argument("kill spec: bad number '" + value + "'");
     }
     if (key == "at") {
@@ -63,10 +65,10 @@ OutageWindow OutageScript::parse_kill_spec(std::string_view spec) {
     } else if (key == "restart") {
       window.up_s = number;
     } else if (key == "origin") {
-      if (number < 0.0) {
-        throw std::invalid_argument("kill spec: negative origin index");
+      if (!util::size_from_double(number, window.origin)) {
+        throw std::invalid_argument("kill spec: bad origin index '" + value +
+                                    "'");
       }
-      window.origin = static_cast<std::size_t>(number);
     } else {
       throw std::invalid_argument("kill spec: unknown key '" +
                                   std::string(key) + "'");

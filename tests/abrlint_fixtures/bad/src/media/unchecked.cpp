@@ -1,0 +1,10 @@
+#include <cstdlib>
+#include <string>
+
+int parse_count(const char* text) {
+  return std::atoi(text);
+}
+
+long parse_offset(const std::string& text) {
+  return std::stol(text);
+}

@@ -130,6 +130,10 @@ TEST(AbrlintBinary, BadTreeReportsExactViolations) {
       "layer src/core (runs must be pure functions of trace+seed)\n"
       "src/core/wall_clock.cpp:16: unseeded-rng: rand() call (seed every "
       "random stream by name)\n"
+      "src/media/unchecked.cpp:5: unchecked-parse: atoi() parse without an "
+      "overflow/garbage contract (use util/checked_parse.hpp)\n"
+      "src/media/unchecked.cpp:9: unchecked-parse: stol() parse without an "
+      "overflow/garbage contract (use util/checked_parse.hpp)\n"
       "src/net/raw_metric.cpp:6: metric-literal: raw metric name "
       "\"abr_raw_total\" (declare it in obs/names.hpp and use the constant)\n"
       "src/obs/names.hpp:9: metric-undocumented: \"abr_ghost_total\" is "
@@ -155,7 +159,7 @@ TEST(AbrlintBinary, BadTreeReportsExactViolations) {
       "vary it)\n"
       "tools/abrreport/report.cpp:2: include-relative: relative include "
       "\"../../src/obs/names.hpp\" (project includes are src-root-relative)\n"
-      "abrlint: 15 violations\n";
+      "abrlint: 17 violations\n";
   EXPECT_EQ(result.output, expected);
 }
 
@@ -169,7 +173,7 @@ TEST(AbrlintBinary, JustifiedAllowlistSuppressesOnlyItsEntry) {
   EXPECT_EQ(result.output.find("steady_clock read"), std::string::npos);
   EXPECT_NE(result.output.find("wall_clock.cpp:13: wall-clock: time()"),
             std::string::npos);
-  EXPECT_NE(result.output.find("abrlint: 14 violations"), std::string::npos);
+  EXPECT_NE(result.output.find("abrlint: 16 violations"), std::string::npos);
 }
 
 TEST(AbrlintBinary, UnjustifiedAllowlistEntryIsRejected) {

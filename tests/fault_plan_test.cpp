@@ -157,6 +157,56 @@ TEST(FaultPlan, RejectsMalformedAndOutOfRangeInput) {
   EXPECT_THROW(inverted.validate(), std::invalid_argument);
 }
 
+TEST(FaultPlan, IntegerFieldsAreOverflowChecked) {
+  // UINT64_MAX itself is not exactly double-representable; the nearest
+  // representable seed below 2^64 must load without wrapping.
+  const auto plan = testing::FaultPlan::from_json(
+      "{\"seed\": 18446744073709549568}");  // 2^64 - 2048
+  EXPECT_EQ(plan.seed, 18446744073709549568ull);
+
+  // 2^64 and beyond: stoull-style wraparound to 0 would silently change
+  // the fault schedule; the checked parse throws instead.
+  EXPECT_THROW(
+      testing::FaultPlan::from_json("{\"seed\": 18446744073709551616}"),
+      std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": 1e300}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": -1}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": 1.5}"),
+               std::invalid_argument);
+
+  // http_status must fit an int exactly.
+  EXPECT_THROW(
+      testing::FaultPlan::from_json("{\"http_status\": 2147483648}"),
+      std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"http_status\": 503.7}"),
+               std::invalid_argument);
+
+  // max_faulty_attempts is a size_t with the same contract.
+  EXPECT_THROW(testing::FaultPlan::from_json(
+                   "{\"max_faulty_attempts\": 18446744073709551616}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      testing::FaultPlan::from_json("{\"max_faulty_attempts\": -2}"),
+      std::invalid_argument);
+}
+
+TEST(FaultPlan, JsonRejectsNonFiniteAndTrailingGarbage) {
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"stall_rate\": NaN}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"stall_rate\": Infinity}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"stall_rate\": 1e999}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": 01}"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": 1} trailing"),
+               std::invalid_argument);
+  EXPECT_THROW(testing::FaultPlan::from_json("{\"seed\": 1}}"),
+               std::invalid_argument);
+}
+
 TEST(FaultPlan, LoadReadsAPlanFile) {
   const auto path =
       std::filesystem::temp_directory_path() / "abr_fault_plan_test.json";

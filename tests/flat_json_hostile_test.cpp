@@ -1,0 +1,111 @@
+// Hostile-input coverage for the flat-JSON line parser shared by the
+// session journal reader and abrreport: truncated records, NaN/Inf number
+// spellings, nesting attempts, duplicate keys, overflowing numbers, and
+// trailing garbage. The same surface the fuzz_flat_json harness explores,
+// pinned here as named regression cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "abrreport.hpp"
+
+namespace abr::tools {
+namespace {
+
+JsonObject must_parse(const std::string& line) {
+  JsonObject object;
+  std::string error;
+  EXPECT_TRUE(parse_flat_json(line, object, error)) << line << ": " << error;
+  EXPECT_TRUE(error.empty());
+  return object;
+}
+
+void must_reject(const std::string& line) {
+  JsonObject object;
+  std::string error;
+  EXPECT_FALSE(parse_flat_json(line, object, error)) << line;
+  EXPECT_FALSE(error.empty()) << "rejection must carry an error: " << line;
+}
+
+TEST(FlatJsonHostile, TruncatedRecords) {
+  must_reject("");
+  must_reject("{");
+  must_reject("{\"type\"");
+  must_reject("{\"type\":");
+  must_reject("{\"type\": \"chunk\"");
+  must_reject("{\"type\": \"chunk\",");
+  must_reject("{\"a\": 1, ");
+  must_reject("{\"a\": \"unterminated");
+}
+
+TEST(FlatJsonHostile, NanAndInfLiteralsAreMalformed) {
+  // A journal writer can only emit finite numbers; every textual spelling
+  // of the non-finite values must be rejected, not smuggled in as a number
+  // (strtod-based parsers accept several of these).
+  must_reject("{\"x\": nan}");
+  must_reject("{\"x\": NaN}");
+  must_reject("{\"x\": inf}");
+  must_reject("{\"x\": -inf}");
+  must_reject("{\"x\": Infinity}");
+  must_reject("{\"x\": -Infinity}");
+  // Overflowing scientific notation would parse to +inf under strtod.
+  must_reject("{\"x\": 1e999}");
+}
+
+TEST(FlatJsonHostile, StrictNumberGrammar) {
+  must_reject("{\"x\": 007}");   // leading zeros
+  must_reject("{\"x\": .5}");    // bare fraction
+  must_reject("{\"x\": 1.}");    // empty fraction
+  must_reject("{\"x\": 1e}");    // empty exponent
+  must_reject("{\"x\": +1}");    // leading plus
+  must_reject("{\"x\": 0x10}");  // hex
+  const JsonObject ok = must_parse(
+      "{\"a\": 0, \"b\": -0.5, \"c\": 1.25e3, \"d\": 2E-2}");
+  EXPECT_DOUBLE_EQ(ok.at("a").number, 0.0);
+  EXPECT_DOUBLE_EQ(ok.at("b").number, -0.5);
+  EXPECT_DOUBLE_EQ(ok.at("c").number, 1250.0);
+  EXPECT_DOUBLE_EQ(ok.at("d").number, 0.02);
+  for (const auto& [key, value] : ok) {
+    EXPECT_TRUE(std::isfinite(value.number)) << key;
+  }
+}
+
+TEST(FlatJsonHostile, NestingIsRejected) {
+  // The journal schema is flat by design; nested containers are malformed.
+  must_reject("{\"x\": {\"y\": 1}}");
+  must_reject("{\"x\": [1, 2]}");
+  // Deep nesting must fail cleanly too (no recursion blow-up).
+  std::string deep = "{\"x\": ";
+  for (int i = 0; i < 2000; ++i) deep += "{\"y\": ";
+  must_reject(deep);
+}
+
+TEST(FlatJsonHostile, DuplicateKeysKeepOneEntry) {
+  // std::map semantics: the record stays well-formed with a single entry;
+  // which value wins is an implementation detail, but parsing must agree
+  // with itself (re-parse gives the same object — the fuzz invariant).
+  const JsonObject object = must_parse("{\"x\": 1, \"x\": 2}");
+  EXPECT_EQ(object.size(), 1u);
+  EXPECT_EQ(object.count("x"), 1u);
+}
+
+TEST(FlatJsonHostile, TrailingGarbage) {
+  must_reject("{\"a\": 1} tail");
+  must_reject("{\"a\": 1}}");
+  must_reject("{\"a\": 1}{\"b\": 2}");
+}
+
+TEST(FlatJsonHostile, ValidJournalLinesStillParse) {
+  const JsonObject chunk = must_parse(
+      "{\"type\": \"chunk\", \"session\": \"s0\", \"index\": 3, "
+      "\"bitrate_kbps\": 1850.0, \"degraded\": false, \"skipped\": true}");
+  EXPECT_EQ(chunk.at("type").text, "chunk");
+  EXPECT_EQ(chunk.at("type").kind, JsonValue::Kind::kString);
+  EXPECT_DOUBLE_EQ(chunk.at("index").number, 3.0);
+  EXPECT_FALSE(chunk.at("degraded").boolean);
+  EXPECT_TRUE(chunk.at("skipped").boolean);
+}
+
+}  // namespace
+}  // namespace abr::tools

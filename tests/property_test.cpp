@@ -11,6 +11,7 @@
 #include "core/offline_optimal.hpp"
 #include "sim/player.hpp"
 #include "test_helpers.hpp"
+#include "testing/invariant_checker.hpp"
 #include "trace/generators.hpp"
 #include "util/rng.hpp"
 
@@ -133,43 +134,20 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
-/// Replays Eqs. (1)-(4) over a session's chunk log and asserts the recorded
-/// dynamics match: the buffer stays in [0, Bmax], every stall equals the
-/// shortfall of buffered video against the download time, and every
-/// buffer-full wait equals the excess over capacity. This is the paper's
-/// buffer model checked independently of the player that produced the log.
-/// Assumes the default kFirstChunk startup policy and no skipped chunks.
+/// Replays Eqs. (1)-(4) plus the Eq. (5) attribution over a session's chunk
+/// log via the shared testing::InvariantChecker (the same replay the
+/// fuzz_session harness runs). Strict profile: any skipped/partial chunk is
+/// itself a violation here.
 void check_buffer_dynamics(const sim::SessionResult& result,
-                           double chunk_duration, double capacity) {
-  double buffer_s = 0.0;
-  bool playing = false;
-  double rebuffer_sum = 0.0;
-  for (const sim::ChunkRecord& r : result.chunks) {
-    ASSERT_FALSE(r.skipped);
-    ASSERT_NEAR(r.buffer_before_s, buffer_s, 1e-9) << "chunk " << r.index;
-    // Eq. (1)/(3): the buffer drains during the download once playing; time
-    // not covered by buffered video is a stall.
-    const double stall =
-        playing ? std::max(0.0, r.download_s - buffer_s) : 0.0;
-    if (playing) buffer_s = std::max(0.0, buffer_s - r.download_s);
-    // The finished chunk appends its duration.
-    buffer_s += chunk_duration;
-    if (!playing) playing = true;  // kFirstChunk
-    // Eq. (4): the player idles off any excess over Bmax before the next
-    // request.
-    const double wait = std::max(0.0, buffer_s - capacity);
-    buffer_s = std::min(buffer_s, capacity);
-
-    ASSERT_NEAR(r.rebuffer_s, stall, 1e-9) << "chunk " << r.index;
-    ASSERT_NEAR(r.wait_s, wait, 1e-9) << "chunk " << r.index;
-    ASSERT_NEAR(r.buffer_after_s, buffer_s, 1e-9) << "chunk " << r.index;
-    ASSERT_GE(r.buffer_after_s, 0.0);
-    ASSERT_LE(r.buffer_after_s, capacity + 1e-9);
-    ASSERT_GE(r.rebuffer_s, 0.0);
-    ASSERT_GE(r.wait_s, 0.0);
-    rebuffer_sum += stall;
-  }
-  ASSERT_NEAR(result.total_rebuffer_s, rebuffer_sum, 1e-9);
+                           const qoe::QoeModel& model, double chunk_duration,
+                           double capacity) {
+  testing::InvariantOptions options;
+  options.chunk_duration_s = chunk_duration;
+  options.buffer_capacity_s = capacity;
+  options.allow_failures = false;
+  const testing::InvariantChecker checker(options);
+  const testing::InvariantReport report = checker.check_all(result, model);
+  ASSERT_TRUE(report.ok()) << report.to_string();
 }
 
 /// Buffer dynamics hold for every algorithm under the paper's Bmax = 30 s.
@@ -187,7 +165,7 @@ TEST_P(SessionProperties, BufferDynamicsFollowEqs1Through4) {
     const auto result = sim::simulate(trace, manifest, model, config,
                                       *instance.controller,
                                       *instance.predictor);
-    check_buffer_dynamics(result, manifest.chunk_duration_s(),
+    check_buffer_dynamics(result, model, manifest.chunk_duration_s(),
                           config.buffer_capacity_s);
   }
 }
@@ -213,7 +191,8 @@ TEST(BufferDynamics, InvariantsHoldForRandomScriptedSessions) {
       config.buffer_capacity_s = capacity;
       const auto result = sim::simulate(trace, manifest, model, config,
                                         controller, predictor);
-      check_buffer_dynamics(result, manifest.chunk_duration_s(), capacity);
+      check_buffer_dynamics(result, model, manifest.chunk_duration_s(),
+                            capacity);
     }
   }
 }

@@ -5,6 +5,7 @@
 // contract.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -91,6 +92,41 @@ TEST(RangeHeader, UnsatisfiableFormsEarnA416) {
             RangeParse::kUnsatisfiable);
   EXPECT_EQ(parse_range_header("bytes=-5", 0, range),
             RangeParse::kUnsatisfiable);
+}
+
+TEST(RangeHeader, Uint64AdjacentOffsetsAreOverflowSafe) {
+  ByteRange range;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+
+  // Offsets right at the top of the size_t range resolve exactly.
+  EXPECT_EQ(parse_range_header("bytes=18446744073709551614-", kMax, range),
+            RangeParse::kValid);
+  EXPECT_EQ(range.first, kMax - 1);
+  EXPECT_EQ(range.last, kMax - 1);
+
+  // first == size: the "already complete" 416, even at UINT64_MAX.
+  EXPECT_EQ(parse_range_header("bytes=18446744073709551615-", kMax, range),
+            RangeParse::kUnsatisfiable);
+
+  // One past UINT64_MAX must not wrap to 0 (stoull's failure mode); the
+  // checked parse fails and RFC semantics say ignore the header.
+  EXPECT_EQ(parse_range_header("bytes=18446744073709551616-", 100, range),
+            RangeParse::kNone);
+  EXPECT_EQ(
+      parse_range_header("bytes=0-99999999999999999999", 100, range),
+      RangeParse::kNone);
+
+  // A UINT64_MAX suffix against a small body is simply the whole body.
+  EXPECT_EQ(parse_range_header("bytes=-18446744073709551615", 100, range),
+            RangeParse::kValid);
+  EXPECT_EQ(range.first, 0u);
+  EXPECT_EQ(range.last, 99u);
+
+  // A last-byte-pos of UINT64_MAX clamps without overflowing.
+  EXPECT_EQ(parse_range_header("bytes=10-18446744073709551615", 100, range),
+            RangeParse::kValid);
+  EXPECT_EQ(range.first, 10u);
+  EXPECT_EQ(range.last, 99u);
 }
 
 /// A live origin plus a raw HTTP client for header-level assertions.

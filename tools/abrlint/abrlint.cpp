@@ -308,6 +308,39 @@ void check_rng_literal_seed(const SourceFile& file,
   }
 }
 
+// --- parser hardening ------------------------------------------------------
+
+void check_unchecked_parse(const SourceFile& file,
+                           std::vector<Violation>& violations) {
+  // The std::sto* family throws on garbage but silently wraps on overflow
+  // out of unsigned range; the C ato*/strto* family has no error contract a
+  // caller can rely on without errno gymnastics, and strtod accepts
+  // "inf"/"nan"/"1e999". Every parser that can see hostile bytes (Range
+  // headers, FaultPlan JSON, journal lines, CLI flags) must go through
+  // util/checked_parse.hpp instead. bench/ is exempt: its ad-hoc CLI
+  // parsing never sees untrusted input and benches are not shipped paths.
+  static const std::array<const char*, 19> kFunctions = {
+      "stoi",   "stol",     "stoll",    "stoul",  "stoull",
+      "stof",   "stod",     "stold",    "atoi",   "atol",
+      "atoll",  "atof",     "strtol",   "strtoll", "strtoul",
+      "strtoull", "strtof", "strtod",   "strtold"};
+  if (!in_src(file) && file.rel.rfind("tools/", 0) != 0) return;
+  for (const char* function : kFunctions) {
+    for (const std::size_t pos :
+         find_identifier(file.stripped.code, function, /*call_only=*/true)) {
+      Violation v;
+      v.file = file.rel;
+      v.line = line_of(file.stripped.code, pos);
+      v.rule = "unchecked-parse";
+      v.token = function;
+      v.message = std::string(function) +
+                  "() parse without an overflow/garbage contract (use "
+                  "util/checked_parse.hpp)";
+      violations.push_back(std::move(v));
+    }
+  }
+}
+
 // --- metric-name rules -----------------------------------------------------
 
 struct MetricName {
@@ -554,6 +587,7 @@ std::vector<Violation> run_lint(const fs::path& root,
     check_determinism(file, violations);
     check_std_rng(file, violations);
     check_rng_literal_seed(file, violations);
+    check_unchecked_parse(file, violations);
     check_includes(file, root, violations);
   }
   check_metrics(files, root, violations);

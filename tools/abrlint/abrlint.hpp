@@ -26,6 +26,12 @@
 //   rng-literal-seed  util::Rng constructed from an inline numeric literal;
 //                 seeds must be named constants or propagated parameters so
 //                 experiment configs can find and vary them.
+//   unchecked-parse   std::sto*/ato*/strto* numeric parses are banned in
+//                 src/ and tools/ (bench/ exempt): sto* wraps silently on
+//                 unsigned overflow, the C family has no usable error
+//                 contract, and strtod accepts "inf"/"nan"/"1e999". Parsers
+//                 use util/checked_parse.hpp; the rare justified site goes
+//                 in the allowlist.
 //   metric-literal    A string literal starting with "abr_" outside
 //                 obs/names.hpp; metric families are declared once, in
 //                 names.hpp, and referenced by constant.

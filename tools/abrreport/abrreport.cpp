@@ -13,6 +13,8 @@
 #include <stdexcept>
 
 #include "obs/exposition.hpp"
+#include "util/checked_parse.hpp"
+#include "util/strings.hpp"
 
 namespace abr::tools {
 
@@ -147,14 +149,25 @@ bool parse_flat_json(const std::string& line, JsonObject& out,
         pos += 5;
       } else {
         value.kind = JsonValue::Kind::kNumber;
-        const char* begin = line.c_str() + pos;
-        char* end = nullptr;
-        value.number = std::strtod(begin, &end);
-        if (end == begin) {
+        // Scan the strict JSON number grammar, then do an overflow-checked
+        // parse. A hostile journal line with "NaN", "Infinity", hex floats,
+        // or an overflowing exponent is a malformed record, not a number
+        // (strtod accepts all four).
+        std::size_t token_end = pos;
+        while (token_end < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[token_end])) ||
+                line[token_end] == '-' || line[token_end] == '+' ||
+                line[token_end] == '.' || line[token_end] == 'e' ||
+                line[token_end] == 'E')) {
+          ++token_end;
+        }
+        const std::string_view token(line.c_str() + pos, token_end - pos);
+        if (!util::is_json_number(token) ||
+            !util::parse_double(token, value.number)) {
           error = "bad value for key \"" + key + "\"";
           return false;
         }
-        pos += static_cast<std::size_t>(end - begin);
+        pos = token_end;
       }
       out[key] = std::move(value);
       skip_spaces(line, pos);
@@ -197,8 +210,14 @@ double get_number(const JsonObject& object, const std::string& key) {
 }
 
 std::size_t get_count(const JsonObject& object, const std::string& key) {
+  // Checked conversion: llround on a huge double is UB, and journal counts
+  // are small — treat anything non-integral or out of range as 0.
+  std::size_t count = 0;
   const double value = get_number(object, key);
-  return value > 0.0 ? static_cast<std::size_t>(std::llround(value)) : 0;
+  if (value > 0.0 && util::size_from_double(std::floor(value + 0.5), count)) {
+    return count;
+  }
+  return 0;
 }
 
 AlgorithmSummary& algorithm_entry(std::vector<AlgorithmSummary>& algorithms,

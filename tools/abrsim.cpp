@@ -38,6 +38,7 @@
 #include "testing/outage_script.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
+#include "util/checked_parse.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
@@ -147,31 +148,67 @@ bool parse_args(int argc, char** argv, Options& options) {
       }
       return argv[++i];
     };
+    // Overflow-checked numeric options: a malformed or out-of-range value is
+    // a usage error, not a silent wrap to a huge count.
+    const auto count_value = [&]() -> std::size_t {
+      const char* text = value();
+      std::size_t out = 0;
+      if (!util::parse_size(text, out)) {
+        std::fprintf(stderr, "bad count '%s' for %s\n", text,
+                     std::string(arg).c_str());
+        std::exit(2);
+      }
+      return out;
+    };
+    const auto seed_value = [&]() -> std::uint64_t {
+      const char* text = value();
+      std::uint64_t out = 0;
+      if (!util::parse_u64(text, out)) {
+        std::fprintf(stderr, "bad seed '%s' for %s\n", text,
+                     std::string(arg).c_str());
+        std::exit(2);
+      }
+      return out;
+    };
+    const auto double_value = [&]() -> double {
+      const char* text = value();
+      double out = 0.0;
+      if (!util::parse_finite_double(text, out)) {
+        std::fprintf(stderr, "bad number '%s' for %s\n", text,
+                     std::string(arg).c_str());
+        std::exit(2);
+      }
+      return out;
+    };
     if (arg == "--algorithm") options.algorithm = value();
     else if (arg == "--trace") options.trace_path = value();
     else if (arg == "--dataset") options.dataset = value();
-    else if (arg == "--index") options.index = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--seed") options.seed = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--duration") options.duration_s = std::atof(value());
+    else if (arg == "--index") options.index = count_value();
+    else if (arg == "--seed") options.seed = seed_value();
+    else if (arg == "--duration") options.duration_s = double_value();
     else if (arg == "--manifest") options.manifest_path = value();
     else if (arg == "--preference") options.preference = value();
-    else if (arg == "--buffer") options.buffer_s = std::atof(value());
-    else if (arg == "--horizon")
-      options.horizon = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--buffer") options.buffer_s = double_value();
+    else if (arg == "--horizon") options.horizon = count_value();
     else if (arg == "--chunk-log") options.chunk_log = true;
     else if (arg == "--no-optimal") options.skip_optimal = true;
     else if (arg == "--metrics") options.metrics = true;
     else if (arg == "--trace-out") options.trace_out = value();
     else if (arg == "--faults") options.faults_path = value();
     else if (arg == "--abort-policy") options.abort_policy = true;
-    else if (arg == "--origins")
-      options.origins = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--origins") options.origins = count_value();
     else if (arg == "--kill-origin") options.kill_specs.emplace_back(value());
     else if (arg == "--journal") options.journal_path = value();
-    else if (arg == "--telemetry-port")
-      options.telemetry_port = std::atoi(value());
+    else if (arg == "--telemetry-port") {
+      const std::size_t port = count_value();
+      if (port > 65535) {
+        std::fprintf(stderr, "bad port %zu for --telemetry-port\n", port);
+        std::exit(2);
+      }
+      options.telemetry_port = static_cast<int>(port);
+    }
     else if (arg == "--telemetry-linger")
-      options.telemetry_linger_s = std::atof(value());
+      options.telemetry_linger_s = double_value();
     else if (arg == "--help") { usage(); std::exit(0); }
     else {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);

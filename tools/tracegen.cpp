@@ -13,6 +13,7 @@
 
 #include "trace/generators.hpp"
 #include "trace/trace_io.hpp"
+#include "util/checked_parse.hpp"
 #include "util/strings.hpp"
 
 using namespace abr;
@@ -33,10 +34,27 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    // Overflow-checked numeric options (no strtoull wraparound on "-1").
+    const auto checked = [&](bool ok, const char* text) {
+      if (!ok) {
+        std::fprintf(stderr, "bad value '%s' for %s\n", text,
+                     std::string(arg).c_str());
+        std::exit(2);
+      }
+    };
     if (arg == "--kind") kind_name = value();
-    else if (arg == "--count") count = std::strtoull(value(), nullptr, 10);
-    else if (arg == "--duration") duration_s = std::atof(value());
-    else if (arg == "--seed") seed = std::strtoull(value(), nullptr, 10);
+    else if (arg == "--count") {
+      const char* text = value();
+      checked(util::parse_size(text, count), text);
+    }
+    else if (arg == "--duration") {
+      const char* text = value();
+      checked(util::parse_finite_double(text, duration_s), text);
+    }
+    else if (arg == "--seed") {
+      const char* text = value();
+      checked(util::parse_u64(text, seed), text);
+    }
     else if (arg == "--out") out_dir = value();
     else if (arg == "--help") {
       std::puts(
