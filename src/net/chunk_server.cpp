@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -181,6 +182,46 @@ std::size_t TcpServer::drain(double deadline_s) {
   return forced;
 }
 
+namespace {
+
+/// Resolves ServerEngine::kDefault: the ABR_SERVER_ENGINE environment
+/// variable ("threaded"/"sharded") decides, else the sharded engine.
+ServerEngine resolve_engine(ServerEngine requested) {
+  if (requested != ServerEngine::kDefault) return requested;
+  if (const char* env = std::getenv("ABR_SERVER_ENGINE")) {
+    if (std::string_view(env) == "threaded") return ServerEngine::kThreaded;
+    if (std::string_view(env) == "sharded") return ServerEngine::kSharded;
+  }
+  return ServerEngine::kSharded;
+}
+
+/// Serializes the response head exactly as the serving loop always has:
+/// status line, routed headers in order, Content-Length, blank line.
+std::string serialize_head(const RoutedResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     response.reason + "\r\n";
+  for (const auto& [key, value] : response.headers.entries) {
+    head += key + ": " + value + "\r\n";
+  }
+  head +=
+      "Content-Length: " + std::to_string(response.body_size()) + "\r\n\r\n";
+  return head;
+}
+
+/// Replaces a routed response with an injected HTTP error (fault
+/// kHttpError), dropping any shared body slice.
+void apply_http_error(RoutedResponse& response, int status) {
+  response.status = status;
+  response.reason = "Service Unavailable";
+  response.headers = HttpHeaders{};
+  response.body_inline = "injected fault\n";
+  response.body_shared = nullptr;
+  response.body_offset = 0;
+  response.body_length = 0;
+}
+
+}  // namespace
+
 bool parse_segment_path(std::string_view target, std::size_t& level,
                         std::size_t& number) {
   constexpr std::string_view kPrefix = "/video/";
@@ -245,21 +286,38 @@ ChunkServer::ChunkServer(const media::VideoManifest& manifest,
           obs::exponential_buckets(10.0, 2.0, 16))),
       telemetry_deadline_counter_(&obs::MetricsRegistry::global().counter(
           obs::kTelemetryDeadlineExceededTotal)),
-      server_([this](TcpStream& stream) { handle_connection(stream); }) {
-  server_.set_max_connections(options_.max_connections);
-  server_.set_reject_handler(
-      [this](TcpStream& stream) { reject_connection(stream); });
+      engine_(resolve_engine(options_.engine)) {
+  if (engine_ == ServerEngine::kThreaded) {
+    threaded_ = std::make_unique<TcpServer>(
+        [this](TcpStream& stream) { handle_connection(stream); });
+    threaded_->set_max_connections(options_.max_connections);
+    threaded_->set_reject_handler(
+        [this](TcpStream& stream) { reject_connection(stream); });
+    transport_ = threaded_.get();
+  } else {
+    gate_ = std::make_unique<ShaperGate>(trace, speedup);
+    EpollServer::EpollServerOptions epoll_options;
+    epoll_options.shards = options_.shards;
+    epoll_options.max_connections = options_.max_connections;
+    epoll_options.idle_timeout_ms = options_.idle_timeout_ms;
+    // The cast happens here (inside ChunkServer) because the Handler base
+    // is private; make_unique itself could not perform it.
+    sharded_ = std::make_unique<EpollServer>(
+        static_cast<EpollServer::Handler*>(this), epoll_options);
+    sharded_->set_shaper_gate(gate_.get());
+    transport_ = sharded_.get();
+  }
 }
 
 ChunkServer::~ChunkServer() { stop(); }
 
 void ChunkServer::start(std::uint16_t port) {
   started_ = std::chrono::steady_clock::now();
-  server_.start(port);
+  transport_->start(port);
 }
 
 void ChunkServer::stop() {
-  server_.stop();
+  transport_->stop();
   flush_metrics();
 }
 
@@ -273,19 +331,25 @@ double ChunkServer::uptime_s() const {
 void ChunkServer::flush_metrics() {
   // Shed connections whose reject handler was force-closed before it could
   // count itself: the transport's rejected tally is ground truth.
-  const std::size_t rejected = server_.rejected_connections();
+  const std::size_t rejected = transport_->rejected_connections();
   const std::size_t handled = shed_handled_.exchange(rejected);
   if (rejected > handled) {
     shed_counter_->increment(static_cast<double>(rejected - handled));
   }
-  const auto peak = static_cast<double>(server_.peak_connections());
+  const auto peak = static_cast<double>(transport_->peak_connections());
   if (peak > peak_connections_gauge_->value()) {
     peak_connections_gauge_->set(peak);
+  }
+  if (engine_ == ServerEngine::kSharded) {
+    // The sharded engine has no per-connection handler bracketing the
+    // gauge; the transport's live count is ground truth.
+    connections_gauge_->set(
+        static_cast<double>(transport_->active_connections()));
   }
 }
 
 std::size_t ChunkServer::drain(double deadline_s) {
-  const std::size_t forced = server_.drain(deadline_s);
+  const std::size_t forced = transport_->drain(deadline_s);
   if (forced > 0) {
     drain_forced_counter_->increment(static_cast<double>(forced));
   }
@@ -301,19 +365,32 @@ std::size_t ChunkServer::drain(double deadline_s) {
     }
     options_.trace_writer->instant(
         "drain_complete", "server", now_s, 0,
-        {{"shed", server_.rejected_connections()},
+        {{"shed", transport_->rejected_connections()},
          {"requests_served", requests_served_.load()}});
   }
   return forced;
 }
 
 void ChunkServer::reset_trace_clock() {
-  const util::MutexLock lock(shaper_mutex_);
-  shaper_.reset_epoch();
+  {
+    const util::MutexLock lock(shaper_mutex_);
+    shaper_.reset_epoch();
+  }
+  if (gate_ != nullptr) gate_->reset_epoch();
 }
 
-HttpResponse ChunkServer::route(const HttpRequest& request) const {
-  HttpResponse response;
+std::shared_ptr<const std::string> ChunkServer::fill_buffer(
+    char fill, std::size_t size) const {
+  const util::MutexLock lock(fill_mutex_);
+  std::shared_ptr<const std::string>& slot = fill_buffers_[fill - 'A'];
+  if (slot == nullptr || slot->size() < size) {
+    slot = std::make_shared<const std::string>(size, fill);
+  }
+  return slot;
+}
+
+RoutedResponse ChunkServer::route(const HttpRequest& request) const {
+  RoutedResponse response;
   if (request.method != "GET") {
     bad_request_method_->increment();
     response.status = 405;
@@ -323,37 +400,49 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
   }
   if (request.target == "/healthz") {
     response.headers.set("Content-Type", "text/plain");
-    if (server_.draining()) {
+    if (transport_->draining()) {
       response.status = 503;
       response.reason = "Service Unavailable";
-      response.body = "draining\n";
+      response.body_inline = "draining\n";
     } else {
-      response.body = "ok\n";
+      response.body_inline = "ok\n";
     }
     return response;
   }
   if (is_telemetry_target(request.target)) {
     // Live telemetry plane: the registry scrape and the status snapshot.
-    // Bodies are sent unshaped under the telemetry deadline (see
-    // handle_connection) so a scrape can never worsen overload.
+    // Bodies are sent unshaped under the telemetry deadline so a scrape can
+    // never worsen overload.
     if (request.target == "/metrics") {
       telemetry_metrics_requests_->increment();
     } else {
       telemetry_statusz_requests_->increment();
     }
+    if (engine_ == ServerEngine::kSharded) {
+      // No per-connection handler brackets this gauge on the sharded
+      // engine; refresh it from transport truth at every scrape.
+      connections_gauge_->set(
+          static_cast<double>(transport_->active_connections()));
+    }
     TelemetryStatus status;
     status.uptime_s = uptime_s();
-    status.draining = server_.draining();
-    status.active_connections = server_.active_connections();
-    status.peak_connections = server_.peak_connections();
-    status.shed_connections = server_.rejected_connections();
+    status.draining = transport_->draining();
+    status.active_connections = transport_->active_connections();
+    status.peak_connections = transport_->peak_connections();
+    status.shed_connections = transport_->rejected_connections();
     status.requests_served = requests_served_.load();
-    return telemetry_response(obs::MetricsRegistry::global(), request.target,
-                              status);
+    const HttpResponse scrape = telemetry_response(
+        obs::MetricsRegistry::global(), request.target, status);
+    response.status = scrape.status;
+    response.reason = scrape.reason;
+    response.headers = scrape.headers;
+    response.body_inline = scrape.body;
+    response.telemetry = true;
+    return response;
   }
   if (request.target == "/manifest.mpd") {
     response.headers.set("Content-Type", "application/dash+xml");
-    response.body = mpd_;
+    response.body_inline = mpd_;
     return response;
   }
   std::size_t level = 0;
@@ -365,7 +454,12 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
     response.headers.set("Content-Type", "video/iso.segment");
     response.headers.set("Accept-Ranges", "bytes");
     // Deterministic filler payload; content is irrelevant to the transport.
-    response.body.assign(bytes, static_cast<char>('A' + (number + level) % 26));
+    // The body is a slice of a shared per-character buffer — response
+    // delivery never copies chunk bytes.
+    const char fill = static_cast<char>('A' + (number + level) % 26);
+    response.body_shared = fill_buffer(fill, bytes);
+    response.body_offset = 0;
+    response.body_length = bytes;
     if (const std::string* range_header = request.headers.find("Range")) {
       ByteRange range;
       switch (parse_range_header(*range_header, bytes, range)) {
@@ -379,8 +473,8 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
               "Content-Range", "bytes " + std::to_string(range.first) + "-" +
                                    std::to_string(range.last) + "/" +
                                    std::to_string(bytes));
-          response.body =
-              response.body.substr(range.first, range.last - range.first + 1);
+          response.body_offset = range.first;
+          response.body_length = range.last - range.first + 1;
           break;
         case RangeParse::kUnsatisfiable:
           bad_request_range_->increment();
@@ -388,7 +482,8 @@ HttpResponse ChunkServer::route(const HttpRequest& request) const {
           response.reason = "Range Not Satisfiable";
           response.headers.set("Content-Range",
                                "bytes */" + std::to_string(bytes));
-          response.body.clear();
+          response.body_shared = nullptr;
+          response.body_length = 0;
           break;
       }
     }
@@ -462,11 +557,11 @@ void ChunkServer::handle_connection(TcpStream& stream) {
       // Request latency covers routing plus the shaped body send — the time
       // the client actually waits, i.e. the emulated link is part of it.
       obs::LatencyTimer latency(request_latency_);
-      HttpResponse response = route(*request);
+      RoutedResponse response = route(*request);
       ++requests_served_;
       requests_counter_->increment();
 
-      const bool draining = server_.draining();
+      const bool draining = transport_->draining();
       if (draining) response.headers.set("Connection", "close");
 
       // Fault injection applies to segment requests only (the MPD and
@@ -487,10 +582,7 @@ void ChunkServer::handle_connection(TcpStream& stream) {
         break;
       }
       if (fault.kind == testing::FaultKind::kHttpError) {
-        response.status = injector_->plan().http_status;
-        response.reason = "Service Unavailable";
-        response.headers = HttpHeaders{};
-        response.body = "injected fault\n";
+        apply_http_error(response, injector_->plan().http_status);
       }
       if (fault.kind == testing::FaultKind::kLatencySpike) {
         // First-byte delay, in wall time scaled like the shaper.
@@ -498,18 +590,12 @@ void ChunkServer::handle_connection(TcpStream& stream) {
             std::chrono::duration<double>(fault.latency_s / speedup_));
       }
 
-      bytes_counter_->increment(static_cast<double>(response.body.size()));
+      bytes_counter_->increment(static_cast<double>(response.body_size()));
 
       // Headers go out unshaped; the body is paced by the trace shaper
       // (the emulated access link). A truncating fault still promises the
       // full Content-Length — the client must detect the short body.
-      std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                         response.reason + "\r\n";
-      for (const auto& [key, value] : response.headers.entries) {
-        head += key + ": " + value + "\r\n";
-      }
-      head += "Content-Length: " + std::to_string(response.body.size()) +
-              "\r\n\r\n";
+      const std::string head = serialize_head(response);
 
       if (is_telemetry_target(request->target)) {
         // Telemetry goes out unshaped (no shaper_mutex_, so a scrape never
@@ -519,7 +605,7 @@ void ChunkServer::handle_connection(TcpStream& stream) {
         stream.set_timeout_ms(options_.telemetry_deadline_ms);
         try {
           connection.stream().write_all(head);
-          connection.stream().write_all(response.body);
+          connection.stream().write_all(response.body());
         } catch (const std::exception&) {
           telemetry_deadline_counter_->increment();
           break;
@@ -531,7 +617,7 @@ void ChunkServer::handle_connection(TcpStream& stream) {
 
       connection.stream().write_all(head);
 
-      const std::string_view body = response.body;
+      const std::string_view body = response.body();
       if (fault.kind == testing::FaultKind::kStall) {
         const auto split = static_cast<std::size_t>(
             static_cast<double>(body.size()) * fault.body_fraction);
@@ -564,6 +650,125 @@ void ChunkServer::handle_connection(TcpStream& stream) {
   }
   live_connections_.fetch_sub(1);
   connections_gauge_->add(-1.0);
+}
+
+// --- sharded engine request plane ------------------------------------------
+//
+// The EpollServer parses requests and delivers responses; these callbacks
+// (reactor threads) plan them with the same route → count → drain header →
+// fault → bytes-counter sequence as handle_connection, expressed as
+// directives instead of inline sleeps and shaped sends.
+
+EpollServer::Response ChunkServer::on_request(const HttpRequest& request) {
+  RoutedResponse routed = route(request);
+  ++requests_served_;
+  requests_counter_->increment();
+
+  const bool draining_now = transport_->draining();
+  if (draining_now) routed.headers.set("Connection", "close");
+
+  EpollServer::Response out;
+
+  // Fault injection applies to segment requests only (the MPD and error
+  // responses go out faithfully).
+  testing::FaultDecision fault;
+  std::size_t level = 0;
+  std::size_t number = 0;
+  if (injector_ != nullptr &&
+      (routed.status == 200 || routed.status == 206) &&
+      parse_segment_path(request.target, level, number)) {
+    fault = injector_->next(number);
+  }
+  if (fault.kind == testing::FaultKind::kReset) {
+    // Tear the connection down without answering: the client's read fails
+    // mid-request.
+    out.reset = true;
+    return out;
+  }
+  if (fault.kind == testing::FaultKind::kHttpError) {
+    apply_http_error(routed, injector_->plan().http_status);
+  }
+  if (fault.kind == testing::FaultKind::kLatencySpike) {
+    // First-byte delay, in wall time scaled like the shaper.
+    out.first_byte_delay_s = fault.latency_s / speedup_;
+  }
+  if (fault.kind == testing::FaultKind::kStall) {
+    out.stall_after_fraction = fault.body_fraction;
+    out.stall_wall_s = fault.stall_s / speedup_;
+  }
+  if (fault.kind == testing::FaultKind::kPartialBody) {
+    // The head still promises the full Content-Length — the client must
+    // detect the short body.
+    out.truncate_after_fraction = fault.body_fraction;
+  }
+
+  bytes_counter_->increment(static_cast<double>(routed.body_size()));
+
+  out.head = serialize_head(routed);
+  out.body_inline = std::move(routed.body_inline);
+  out.body_shared = std::move(routed.body_shared);
+  out.body_offset = routed.body_offset;
+  out.body_length = routed.body_length;
+  out.telemetry = routed.telemetry;
+  if (routed.telemetry) {
+    // Telemetry goes out unshaped (never queued behind a shaped segment
+    // send) under its own hard deadline: a scraper that stops reading is
+    // disconnected — shed, not queued.
+    out.shaped = false;
+    out.write_deadline_ms = options_.telemetry_deadline_ms;
+  } else {
+    out.shaped = true;
+  }
+  out.close_after = draining_now;
+  return out;
+}
+
+EpollServer::Response ChunkServer::on_bad_request() {
+  bad_request_malformed_->increment();
+  RoutedResponse routed;
+  routed.status = 400;
+  routed.reason = "Bad Request";
+  routed.headers.set("Connection", "close");
+  routed.body_inline = "bad request\n";
+  EpollServer::Response out;
+  out.head = serialize_head(routed);
+  out.body_inline = std::move(routed.body_inline);
+  out.close_after = true;
+  return out;
+}
+
+EpollServer::Response ChunkServer::on_reject() {
+  shed_counter_->increment();
+  shed_handled_.fetch_add(1);
+  RoutedResponse routed;
+  routed.status = 503;
+  routed.reason = "Service Unavailable";
+  routed.headers.set("Retry-After", std::to_string(options_.retry_after_s));
+  routed.headers.set("Connection", "close");
+  routed.body_inline = "overloaded\n";
+  EpollServer::Response out;
+  out.head = serialize_head(routed);
+  out.body_inline = std::move(routed.body_inline);
+  out.close_after = true;
+  return out;
+}
+
+void ChunkServer::on_response_done(const EpollServer::Response& response,
+                                   EpollServer::Response::Kind kind,
+                                   double wall_us,
+                                   EpollServer::Outcome outcome) {
+  if (kind != EpollServer::Response::Kind::kRequest) return;
+  // Request latency covers routing plus the (shaped) body send — the time
+  // the client actually waits, like the threaded engine's LatencyTimer.
+  request_latency_->observe(wall_us);
+  if (response.telemetry) {
+    telemetry_scrape_latency_->observe(wall_us);
+    if (outcome != EpollServer::Outcome::kComplete) {
+      // The threaded engine counts any failed telemetry write as a
+      // deadline trip (the write deadline is the only bound on it).
+      telemetry_deadline_counter_->increment();
+    }
+  }
 }
 
 }  // namespace abr::net

@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "media/manifest.hpp"
+#include "net/epoll_server.hpp"
 #include "net/http.hpp"
+#include "net/server_transport.hpp"
 #include "net/shaper.hpp"
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -43,7 +45,7 @@ namespace abr::net {
 ///  - drain() replaces the hard stop() for graceful shutdown: stop
 ///    accepting, let in-flight sessions finish up to a deadline, then
 ///    force-close stragglers.
-class TcpServer {
+class TcpServer final : public ServerTransport {
  public:
   /// Runs one connection; returns when done. The stream reference stays
   /// valid for the duration of the call.
@@ -54,40 +56,39 @@ class TcpServer {
   using RejectHandler = std::function<void(TcpStream&)>;
 
   explicit TcpServer(SessionHandler session);
-  ~TcpServer();
-
-  TcpServer(const TcpServer&) = delete;
-  TcpServer& operator=(const TcpServer&) = delete;
+  ~TcpServer() override;
 
   /// Binds 127.0.0.1 and starts accepting; port 0 picks an ephemeral port.
   /// A stopped (or drained) server may be started again — passing the old
   /// port() restarts the origin on the same address, which is how the chaos
   /// harness brings a killed origin back.
-  void start(std::uint16_t port = 0);
-  void stop() ABR_EXCLUDES(mutex_);
+  void start(std::uint16_t port = 0) override;
+  void stop() override ABR_EXCLUDES(mutex_);
 
   /// Graceful shutdown: closes the listener, waits up to `deadline_s` for
   /// in-flight sessions to finish on their own, then force-closes the
   /// stragglers and joins everything. Returns the number of connections
   /// that had to be force-closed. Idempotent with stop() in either order.
-  std::size_t drain(double deadline_s) ABR_EXCLUDES(mutex_);
+  std::size_t drain(double deadline_s) override ABR_EXCLUDES(mutex_);
 
   /// True from the moment drain() begins until the next start(). Session
   /// handlers poll this to stop keep-alive loops at the next boundary.
-  bool draining() const { return draining_.load(); }
+  bool draining() const override { return draining_.load(); }
 
   /// Admission cap; 0 (default) means unlimited. Set before start().
   void set_max_connections(std::size_t cap) { max_connections_ = cap; }
   void set_reject_handler(RejectHandler reject) { reject_ = std::move(reject); }
 
-  std::uint16_t port() const { return port_; }
+  std::uint16_t port() const override { return port_; }
 
-  std::size_t active_connections() const ABR_EXCLUDES(mutex_);
-  std::size_t peak_connections() const { return peak_.load(); }
-  std::size_t rejected_connections() const { return rejected_.load(); }
+  std::size_t active_connections() const override ABR_EXCLUDES(mutex_);
+  std::size_t peak_connections() const override { return peak_.load(); }
+  std::size_t rejected_connections() const override {
+    return rejected_.load();
+  }
   /// Tracked entries including finished-but-unpruned ones (tests use this to
   /// show pruning keeps the vector bounded).
-  std::size_t tracked_connections() const ABR_EXCLUDES(mutex_);
+  std::size_t tracked_connections() const override ABR_EXCLUDES(mutex_);
 
  private:
   struct Connection {
@@ -120,9 +121,29 @@ class TcpServer {
 
 class FaultInjector;
 
+/// Which serving core backs a ChunkServer.
+enum class ServerEngine {
+  /// Resolve from the ABR_SERVER_ENGINE environment variable ("threaded" or
+  /// "sharded"); unset falls back to kSharded.
+  kDefault,
+  /// Thread-per-connection TcpServer (the original engine; kept exercisable
+  /// for differential coverage).
+  kThreaded,
+  /// Sharded epoll reactor (EpollServer): nonblocking sockets, no
+  /// per-connection threads.
+  kSharded,
+};
+
 /// Serving-path knobs for ChunkServer (all optional; the defaults preserve
 /// the pre-hardening behaviour).
 struct ChunkServerOptions {
+  /// Serving core; see ServerEngine.
+  ServerEngine engine = ServerEngine::kDefault;
+
+  /// Reactor shard count for the sharded engine; 0 picks a small default
+  /// from the host. Ignored by the threaded engine.
+  std::size_t shards = 0;
+
   /// Admission cap on concurrent connections; 0 = unlimited. Connections
   /// past the cap get "503 Service Unavailable" with a Retry-After header
   /// instead of a session thread.
@@ -153,10 +174,37 @@ struct ChunkServerOptions {
   obs::TraceWriter* trace_writer = nullptr;
 };
 
+/// A routed response before engine-specific delivery: status/reason/headers
+/// plus a body that is either an owned string or a slice of a shared
+/// immutable buffer (segment payloads — one fill buffer can back any number
+/// of concurrent responses, so neither engine copies chunk bodies).
+struct RoutedResponse {
+  int status = 200;
+  std::string reason = "OK";
+  HttpHeaders headers;
+  std::string body_inline;
+  std::shared_ptr<const std::string> body_shared;
+  std::size_t body_offset = 0;
+  std::size_t body_length = 0;  ///< length of the shared slice
+  bool telemetry = false;       ///< /metrics or /statusz
+
+  std::string_view body() const {
+    return body_shared != nullptr
+               ? std::string_view(*body_shared).substr(body_offset, body_length)
+               : std::string_view(body_inline);
+  }
+  std::size_t body_size() const { return body().size(); }
+};
+
 /// A synthetic DASH origin: serves the MPD and fixed-size segment payloads
 /// for a manifest, with every response body paced by a trace-driven shaper.
 /// Together with HttpChunkSource this reproduces the paper's emulation
 /// testbed (Section 7.2: node.js static server + tc shaping) in-process.
+///
+/// Two serving cores are available behind one routing/fault/pacing plane
+/// (ChunkServerOptions::engine): the original thread-per-connection
+/// TcpServer and the sharded epoll reactor (EpollServer). Route semantics,
+/// limits, admission control, drain, and fault behaviour are identical.
 ///
 /// URL layout (matches the MPD's SegmentTemplate):
 ///   GET /manifest.mpd
@@ -164,7 +212,7 @@ struct ChunkServerOptions {
 ///   GET /healthz            -> 200 "ok" (503 "draining" during drain)
 ///   GET /metrics            -> Prometheus text exposition (live scrape)
 ///   GET /statusz            -> compact JSON server status
-class ChunkServer {
+class ChunkServer : private EpollServer::Handler {
  public:
   /// The manifest and trace must outlive the server.
   ChunkServer(const media::VideoManifest& manifest,
@@ -177,11 +225,12 @@ class ChunkServer {
   void start(std::uint16_t port = 0);
   void stop();
 
-  /// Graceful shutdown; see TcpServer::drain. Returns forced-close count.
+  /// Graceful shutdown; see ServerTransport::drain. Returns forced-close
+  /// count.
   std::size_t drain(double deadline_s);
-  bool draining() const { return server_.draining(); }
+  bool draining() const { return transport_->draining(); }
 
-  std::uint16_t port() const { return server_.port(); }
+  std::uint16_t port() const { return transport_->port(); }
 
   /// Attaches a fault injector that decides the fate of each segment
   /// request (latency spike, mid-body stall, truncation, reset, 5xx). Must
@@ -197,14 +246,34 @@ class ChunkServer {
   std::size_t requests_served() const { return requests_served_.load(); }
 
   /// Connections shed by admission control.
-  std::size_t shed_connections() const { return server_.rejected_connections(); }
+  std::size_t shed_connections() const {
+    return transport_->rejected_connections();
+  }
 
-  const TcpServer& transport() const { return server_; }
+  const ServerTransport& transport() const { return *transport_; }
+
+  /// The serving core actually in use (after kDefault resolution).
+  ServerEngine engine() const { return engine_; }
 
  private:
   void handle_connection(TcpStream& stream) ABR_EXCLUDES(shaper_mutex_);
   void reject_connection(TcpStream& stream);
-  HttpResponse route(const HttpRequest& request) const;
+  RoutedResponse route(const HttpRequest& request) const;
+
+  // EpollServer::Handler (the sharded engine's request plane).
+  EpollServer::Response on_request(const HttpRequest& request) override;
+  EpollServer::Response on_bad_request() override;
+  EpollServer::Response on_reject() override;
+  void on_response_done(const EpollServer::Response& response,
+                        EpollServer::Response::Kind kind, double wall_us,
+                        EpollServer::Outcome outcome) override;
+
+  /// Shared fill buffer of at least `size` bytes of `fill` (segment bodies
+  /// are single-character runs, so one buffer per fill character serves
+  /// every request size as a prefix slice).
+  std::shared_ptr<const std::string> fill_buffer(char fill,
+                                                 std::size_t size) const;
+
   /// Reconciles registry state with transport truth (shed connections whose
   /// handler never ran, the transport's peak) so drain()/stop() leave the
   /// final dump complete.
@@ -243,7 +312,16 @@ class ChunkServer {
   obs::Histogram* telemetry_scrape_latency_;
   obs::Counter* telemetry_deadline_counter_;
 
-  TcpServer server_;
+  mutable util::Mutex fill_mutex_;
+  /// One lazily grown buffer per fill character ('A'..'Z').
+  mutable std::shared_ptr<const std::string> fill_buffers_[26]
+      ABR_GUARDED_BY(fill_mutex_);
+
+  ServerEngine engine_ = ServerEngine::kSharded;
+  std::unique_ptr<TcpServer> threaded_;
+  std::unique_ptr<ShaperGate> gate_;
+  std::unique_ptr<EpollServer> sharded_;
+  ServerTransport* transport_ = nullptr;
 };
 
 /// Parses "/video/<level>/seg-<number>.m4s"; returns false on any other

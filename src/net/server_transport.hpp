@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace abr::net {
+
+/// Lifecycle + observability surface a ChunkServer transport provides. Two
+/// engines implement it: the threaded TcpServer (one blocking thread per
+/// connection) and the sharded EpollServer (N reactor shards over
+/// nonblocking sockets). Tests assert against this interface, so both
+/// engines must satisfy the same admission / drain / overload contract.
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  ServerTransport(const ServerTransport&) = delete;
+  ServerTransport& operator=(const ServerTransport&) = delete;
+
+  /// Binds 127.0.0.1 and starts accepting; port 0 picks an ephemeral port.
+  /// A stopped (or drained) transport may be started again — passing the
+  /// old port() restarts the origin on the same address, which is how the
+  /// chaos harness brings a killed origin back.
+  virtual void start(std::uint16_t port) = 0;
+
+  /// Hard stop: interrupts every live connection and joins every thread.
+  virtual void stop() = 0;
+
+  /// Graceful shutdown: stops accepting, waits up to `deadline_s` for
+  /// in-flight connections to finish on their own, then force-closes the
+  /// stragglers. Returns the number of forced closes. Idempotent with
+  /// stop() in either order.
+  virtual std::size_t drain(double deadline_s) = 0;
+
+  /// True from the moment drain() begins until the next start().
+  virtual bool draining() const = 0;
+
+  virtual std::uint16_t port() const = 0;
+
+  /// Connections currently live (admitted and rejected alike).
+  virtual std::size_t active_connections() const = 0;
+  virtual std::size_t peak_connections() const = 0;
+  /// Connections refused by the admission cap.
+  virtual std::size_t rejected_connections() const = 0;
+  /// Table entries including finished-but-unreclaimed ones (tests use this
+  /// to show reclamation keeps the table bounded).
+  virtual std::size_t tracked_connections() const = 0;
+
+ protected:
+  ServerTransport() = default;
+};
+
+}  // namespace abr::net

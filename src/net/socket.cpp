@@ -1,6 +1,7 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -91,6 +92,13 @@ void TcpStream::set_timeout_ms(int milliseconds) {
       ::setsockopt(fd_.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
     throw_errno("setsockopt(SO_*TIMEO)");
   }
+}
+
+void TcpStream::set_nonblocking(bool enabled) {
+  const int flags = ::fcntl(fd_.get(), F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_.get(), F_SETFL, want) != 0) throw_errno("fcntl(F_SETFL)");
 }
 
 void TcpStream::set_no_delay(bool enabled) {

@@ -56,6 +56,14 @@ class TcpStream {
   /// Sets SO_RCVTIMEO/SO_SNDTIMEO so a stuck peer cannot hang the player.
   void set_timeout_ms(int milliseconds);
 
+  /// Sets O_NONBLOCK: read()/write return what the kernel has instead of
+  /// blocking (the epoll transport's I/O mode).
+  void set_nonblocking(bool enabled);
+
+  /// Raw descriptor for event-loop registration. Ownership stays with the
+  /// stream; the value is invalidated by close().
+  int fd() const { return fd_.get(); }
+
   /// Disables Nagle; chunk transfers are latency-sensitive at their tail.
   void set_no_delay(bool enabled);
 

@@ -28,6 +28,10 @@ std::string telemetry_endpoint_label(const char* endpoint) {
   return std::string("endpoint=\"") + endpoint + "\"";
 }
 
+std::string shard_label(std::size_t shard) {
+  return "shard=\"" + std::to_string(shard) + "\"";
+}
+
 void register_standard_metrics(MetricsRegistry& registry) {
   for (const char* algorithm : {"MPC", "RobustMPC", "FastMPC"}) {
     registry.histogram(kSolveLatencyUs, solve_algorithm_label(algorithm));
@@ -81,6 +85,9 @@ void register_standard_metrics(MetricsRegistry& registry) {
   registry.counter(kJournalRecordsTotal);
   registry.gauge(kFleetSessionsActive);
   registry.counter(kFleetBucketsEvictedTotal);
+  registry.gauge(kServerShardConnections, shard_label(0));
+  registry.histogram(kFleetStepLatencyUs, "",
+                     exponential_buckets(1.0, 2.0, 20));
 }
 
 }  // namespace abr::obs

@@ -90,6 +90,12 @@ inline constexpr char kFleetSessionsActive[] = "abr_fleet_sessions_active";
 inline constexpr char kFleetBucketsEvictedTotal[] =
     "abr_fleet_buckets_evicted_total";
 
+// Sharded serving core + SoA fleet engine (net/epoll_server,
+// sim/fleet_engine).
+inline constexpr char kServerShardConnections[] =
+    "abr_server_shard_connections";
+inline constexpr char kFleetStepLatencyUs[] = "abr_fleet_step_latency_us";
+
 /// Label body for a solve-latency histogram, e.g. algorithm="MPC".
 std::string solve_algorithm_label(const std::string& algorithm);
 
@@ -107,6 +113,9 @@ std::string bad_request_label(const char* reason);
 
 /// Label body for a telemetry request counter, e.g. endpoint="/metrics".
 std::string telemetry_endpoint_label(const char* endpoint);
+
+/// Label body for a per-reactor-shard gauge, e.g. shard="3".
+std::string shard_label(std::size_t shard);
 
 /// Pre-registers the standard metric families above (with the solve-latency
 /// histograms for MPC, RobustMPC, and FastMPC) so a metrics dump shows the

@@ -175,11 +175,16 @@ MultiPlayerResult simulate_shared_link(
   double now = 0.0;
   double delivered_kb = 0.0;
   double busy_span_end = 0.0;
-  bool all_done = false;
 
-  while (!all_done) {
+  // Indices of players that are not yet done, ascending. Finished players
+  // are compacted out (order-preserving) after each tick so a long-lived
+  // straggler does not pay an O(N) scan over everyone who already finished.
+  std::vector<std::size_t> live(n);
+  for (std::size_t i = 0; i < n; ++i) live[i] = i;
+
+  while (!live.empty()) {
     // 1. Phase transitions that happen at this instant.
-    for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t i : live) {
       Player& player = players[i];
       if (player.phase == Player::Phase::kIdle && now + 1e-12 >= player.join_time_s) {
         begin_chunk(player, i, now);
@@ -195,8 +200,8 @@ MultiPlayerResult simulate_shared_link(
 
     // 2. Fair share for this step.
     std::size_t active = 0;
-    for (const Player& player : players) {
-      if (player.phase == Player::Phase::kDownloading) ++active;
+    for (const std::size_t i : live) {
+      if (players[i].phase == Player::Phase::kDownloading) ++active;
     }
 
     const double step_kb = link.kilobits_between(now, now + dt);
@@ -209,8 +214,8 @@ MultiPlayerResult simulate_shared_link(
     fleet_active_gauge.set(static_cast<double>(active));
     if (fleet != nullptr && active > 0) fleet->note_active(now, active);
 
-    // 3. Advance every player by dt.
-    for (std::size_t i = 0; i < n; ++i) {
+    // 3. Advance every live player by dt.
+    for (const std::size_t i : live) {
       Player& player = players[i];
       switch (player.phase) {
         case Player::Phase::kIdle:
@@ -355,13 +360,11 @@ MultiPlayerResult simulate_shared_link(
     }
 
     now += dt;
-    all_done = true;
-    for (const Player& player : players) {
-      if (player.phase != Player::Phase::kDone) {
-        all_done = false;
-        break;
-      }
-    }
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](std::size_t i) {
+                                return players[i].phase == Player::Phase::kDone;
+                              }),
+               live.end());
     // Safety valve: a link far too slow for even the lowest bitrate would
     // otherwise spin forever.
     if (now > 100.0 * manifest.duration_s() + 1000.0) {

@@ -1,0 +1,193 @@
+#include "sim/fleet_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/buffer_based.hpp"
+#include "core/festive.hpp"
+#include "core/rate_based.hpp"
+#include "predict/predictor.hpp"
+#include "sim/multiplayer.hpp"
+#include "test_helpers.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace abr::sim {
+namespace {
+
+using ::abr::testing::ConstantPredictor;
+using ::abr::testing::FixedLevelController;
+
+// The SoA engine's contract is *bit* identity with the reference engine, so
+// every double is compared with ==, not a tolerance.
+void expect_identical(const MultiPlayerResult& a, const MultiPlayerResult& b) {
+  EXPECT_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.link_utilization, b.link_utilization);
+  ASSERT_EQ(a.players.size(), b.players.size());
+  for (std::size_t i = 0; i < a.players.size(); ++i) {
+    const SessionResult& pa = a.players[i];
+    const SessionResult& pb = b.players[i];
+    EXPECT_EQ(pa.startup_delay_s, pb.startup_delay_s) << "player " << i;
+    EXPECT_EQ(pa.total_rebuffer_s, pb.total_rebuffer_s) << "player " << i;
+    EXPECT_EQ(pa.qoe, pb.qoe) << "player " << i;
+    EXPECT_EQ(pa.session_duration_s, pb.session_duration_s) << "player " << i;
+    EXPECT_EQ(pa.average_bitrate_kbps, pb.average_bitrate_kbps)
+        << "player " << i;
+    EXPECT_EQ(pa.average_bitrate_change_kbps, pb.average_bitrate_change_kbps)
+        << "player " << i;
+    EXPECT_EQ(pa.total_wait_s, pb.total_wait_s) << "player " << i;
+    EXPECT_EQ(pa.rebuffer_chunk_fraction, pb.rebuffer_chunk_fraction)
+        << "player " << i;
+    EXPECT_EQ(pa.switch_count, pb.switch_count) << "player " << i;
+    ASSERT_EQ(pa.chunks.size(), pb.chunks.size()) << "player " << i;
+    for (std::size_t k = 0; k < pa.chunks.size(); ++k) {
+      const ChunkRecord& ra = pa.chunks[k];
+      const ChunkRecord& rb = pb.chunks[k];
+      EXPECT_EQ(ra.index, rb.index) << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.level, rb.level) << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.bitrate_kbps, rb.bitrate_kbps)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.size_kilobits, rb.size_kilobits)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.start_s, rb.start_s) << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.download_s, rb.download_s)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.throughput_kbps, rb.throughput_kbps)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.predicted_kbps, rb.predicted_kbps)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.buffer_before_s, rb.buffer_before_s)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.buffer_after_s, rb.buffer_after_s)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.rebuffer_s, rb.rebuffer_s)
+          << "player " << i << " chunk " << k;
+      EXPECT_EQ(ra.wait_s, rb.wait_s) << "player " << i << " chunk " << k;
+    }
+  }
+}
+
+TEST(FleetEngine, ValidatesArgumentsLikeReference) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto link = trace::ThroughputTrace::constant(2000.0, 1000.0);
+  FixedLevelController controller(0);
+  ConstantPredictor predictor(1000.0);
+  BitrateController* controllers[] = {&controller};
+  predict::ThroughputPredictor* predictors[] = {&predictor, &predictor};
+  MultiPlayerConfig config;
+  EXPECT_THROW(simulate_shared_link_soa(link, manifest, qoe, config,
+                                        std::span<BitrateController* const>{},
+                                        std::span(predictors, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_shared_link_soa(link, manifest, qoe, config,
+                                        std::span(controllers, 1),
+                                        std::span(predictors, 2)),
+               std::invalid_argument);
+  MultiPlayerConfig fixed;
+  fixed.session.startup_policy = StartupPolicy::kFixedDelay;
+  EXPECT_THROW(simulate_shared_link_soa(link, manifest, qoe, fixed,
+                                        std::span(controllers, 1),
+                                        std::span(predictors, 1)),
+               std::invalid_argument);
+  MultiPlayerConfig bad_step;
+  bad_step.time_step_s = 0.0;
+  EXPECT_THROW(simulate_shared_link_soa(link, manifest, qoe, bad_step,
+                                        std::span(controllers, 1),
+                                        std::span(predictors, 1)),
+               std::invalid_argument);
+}
+
+TEST(FleetEngine, BitIdenticalToReferenceHeterogeneousThreePlayers) {
+  // Same seeded scenario as SharedLink.InvariantsWithHeterogeneousControllers:
+  // a variable Markov link with three different controllers exercises rate
+  // switches, rebuffers, and buffer-full waits.
+  const auto manifest = media::VideoManifest::envivio_default();
+  const auto qoe = testing::balanced_qoe();
+  util::Rng rng(3);
+  const auto link = trace::MarkovConfig{}.generate(rng, 600.0).scaled(2.0);
+
+  const auto run = [&](bool soa) {
+    core::RateBasedController rb;
+    core::BufferBasedController bb;
+    core::FestiveController festive;
+    predict::HarmonicMeanPredictor hm1(5);
+    predict::HarmonicMeanPredictor hm2(5);
+    predict::HarmonicMeanPredictor hm3(5);
+    BitrateController* controllers[] = {&rb, &bb, &festive};
+    predict::ThroughputPredictor* predictors[] = {&hm1, &hm2, &hm3};
+    MultiPlayerConfig config;
+    config.startup_stagger_s = 1.5;
+    return soa ? simulate_shared_link_soa(link, manifest, qoe, config,
+                                          std::span(controllers, 3),
+                                          std::span(predictors, 3))
+               : simulate_shared_link(link, manifest, qoe, config,
+                                      std::span(controllers, 3),
+                                      std::span(predictors, 3));
+  };
+
+  const MultiPlayerResult reference = run(false);
+  const MultiPlayerResult soa = run(true);
+  expect_identical(reference, soa);
+}
+
+TEST(FleetEngine, BitIdenticalToReferenceAt256Players) {
+  // A fleet-scale population: staggered joins, mixed fixed rungs, and a link
+  // generous enough that players spend most of their time buffer-full
+  // waiting — the exact regime the event heap optimizes, so divergence in
+  // the wait/wake scheduling would show up here.
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const std::size_t n = 256;
+  const auto link =
+      trace::ThroughputTrace::constant(400.0 * static_cast<double>(n), 1000.0);
+
+  const auto run = [&](bool soa) {
+    std::vector<std::unique_ptr<FixedLevelController>> controllers;
+    std::vector<std::unique_ptr<ConstantPredictor>> predictors;
+    std::vector<BitrateController*> controller_ptrs;
+    std::vector<predict::ThroughputPredictor*> predictor_ptrs;
+    for (std::size_t i = 0; i < n; ++i) {
+      controllers.push_back(std::make_unique<FixedLevelController>(i % 3));
+      predictors.push_back(std::make_unique<ConstantPredictor>(400.0));
+      controller_ptrs.push_back(controllers.back().get());
+      predictor_ptrs.push_back(predictors.back().get());
+    }
+    MultiPlayerConfig config;
+    config.startup_stagger_s = 0.1;
+    return soa ? simulate_shared_link_soa(
+                     link, manifest, qoe, config,
+                     std::span<BitrateController* const>(controller_ptrs),
+                     std::span<predict::ThroughputPredictor* const>(
+                         predictor_ptrs))
+               : simulate_shared_link(
+                     link, manifest, qoe, config,
+                     std::span<BitrateController* const>(controller_ptrs),
+                     std::span<predict::ThroughputPredictor* const>(
+                         predictor_ptrs));
+  };
+
+  const MultiPlayerResult reference = run(false);
+  const MultiPlayerResult soa = run(true);
+  expect_identical(reference, soa);
+}
+
+TEST(FleetEngine, StarvedLinkThrowsLikeReference) {
+  const auto manifest = testing::small_manifest();
+  const auto qoe = testing::balanced_qoe();
+  const auto link = trace::ThroughputTrace::constant(1.0, 1000.0);
+  FixedLevelController controller(2);
+  ConstantPredictor predictor(1.0);
+  BitrateController* controllers[] = {&controller};
+  predict::ThroughputPredictor* predictors[] = {&predictor};
+  EXPECT_THROW(simulate_shared_link_soa(link, manifest, qoe, {},
+                                        std::span(controllers, 1),
+                                        std::span(predictors, 1)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace abr::sim
